@@ -1,0 +1,34 @@
+# Patty — build / test / benchmark entry points.
+
+GO ?= go
+
+.PHONY: all build test race bench eval study examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parrt/ ./internal/sched/
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+eval:
+	$(GO) run ./cmd/patty eval
+
+study:
+	$(GO) run ./cmd/patty study
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videopipeline
+	$(GO) run ./examples/indexer
+	$(GO) run ./examples/raytrace
+
+clean:
+	rm -rf patty-out

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestCmdCorpus(t *testing.T) {
+	out, err := capture(t, func() error { return cmdCorpus(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"raytrace", "video", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corpus output missing %q", want)
+		}
+	}
+}
+
+func TestCmdDetectCorpusStatic(t *testing.T) {
+	out, err := capture(t, func() error { return cmdDetect([]string{"-corpus", "video", "-static"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pipeline") || !strings.Contains(out, "candidate") {
+		t.Errorf("detect output unexpected:\n%s", out)
+	}
+}
+
+func TestCmdDetectUnknownCorpus(t *testing.T) {
+	if _, err := capture(t, func() error { return cmdDetect([]string{"-corpus", "nope"}) }); err == nil {
+		t.Fatal("expected error for unknown corpus program")
+	}
+}
+
+func TestCmdDetectFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	src := `package p
+func F(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		b[i] = a[i] * 2
+	}
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return cmdDetect([]string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "data-parallel") {
+		t.Errorf("detect output:\n%s", out)
+	}
+}
+
+func TestCmdRunWritesArtifacts(t *testing.T) {
+	outDir := t.TempDir()
+	_, err := capture(t, func() error {
+		return cmdRun([]string{"-corpus", "video", "-o", outDir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"annotated_video.go", "processparallel.go", "tuning.json"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing artifact %q in %v", want, names)
+		}
+	}
+	gen, err := os.ReadFile(filepath.Join(outDir, "processparallel.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gen), "parrt.NewPipeline") {
+		t.Error("generated file lacks pipeline instantiation")
+	}
+}
+
+func TestCmdTransformAnnotatedFile(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+func double(x int) int { return 2 * x }
+func Apply(a, b []int) {
+	//tadl:arch forall forall(A)
+	for i := 0; i < len(a); i++ {
+		//tadl:stage A
+		b[i] = double(a[i])
+	}
+}`
+	path := filepath.Join(dir, "apply.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := t.TempDir()
+	if _, err := capture(t, func() error { return cmdTransform([]string{"-o", outDir, path}) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "applyparallel.go")); err != nil {
+		t.Fatal("generated file missing")
+	}
+}
+
+func TestCmdStudy(t *testing.T) {
+	out, err := capture(t, func() error { return cmdStudy([]string{"-seed", "4713"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Figure 5b", "Effectivity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("study output missing %q", want)
+		}
+	}
+}
+
+func TestCmdTuneAlgorithms(t *testing.T) {
+	for _, algo := range []string{"linear", "nelder-mead", "tabu", "random"} {
+		out, err := capture(t, func() error { return cmdTune([]string{"-algo", algo, "-budget", "40"}) })
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out, "best") {
+			t.Errorf("%s output:\n%s", algo, out)
+		}
+	}
+	if _, err := capture(t, func() error { return cmdTune([]string{"-algo", "bogus"}) }); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestCmdSweepKinds(t *testing.T) {
+	for _, kind := range []string{"cores", "replication", "length"} {
+		out, err := capture(t, func() error { return cmdSweep([]string{"-kind", kind}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "speedup") {
+			t.Errorf("sweep %s output:\n%s", kind, out)
+		}
+	}
+	if _, err := capture(t, func() error { return cmdSweep([]string{"-kind", "bogus"}) }); err == nil {
+		t.Fatal("expected error for unknown sweep kind")
+	}
+}
+
+func TestCmdModelViews(t *testing.T) {
+	out, err := capture(t, func() error { return cmdModel([]string{"-corpus", "video", "-static"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "semantic model") || !strings.Contains(out, "detection report") {
+		t.Errorf("model output:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdModel([]string{"-corpus", "video", "-static", "-dot", "callgraph"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph callgraph") {
+		t.Errorf("callgraph dot:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdModel([]string{"-corpus", "video", "-static", "-dot", "cfg", "-fn", "Process"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph \"Process\"") {
+		t.Errorf("cfg dot:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdModel([]string{"-corpus", "video", "-static", "-dot", "stages"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "StreamGenerator") {
+		t.Errorf("stages dot:\n%s", out)
+	}
+}
+
+func TestCmdVerifyCleanCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full model + exploration")
+	}
+	out, err := capture(t, func() error {
+		return cmdVerify([]string{"-corpus", "video", "-bound", "2", "-max-schedules", "1500"})
+	})
+	if err != nil {
+		t.Fatalf("verify failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "OK") {
+		t.Errorf("verify output:\n%s", out)
+	}
+}

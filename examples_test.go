@@ -1,0 +1,85 @@
+package patty
+
+// Smoke tests that build and execute the example binaries — the
+// examples are part of the public deliverable and must keep working.
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, path string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", path)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s: %v\n%s", path, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs subprocesses")
+	}
+	out := runExample(t, "./examples/quickstart")
+	for _, want := range []string{
+		"forall(A+)",
+		"//tadl:arch",
+		"parrt.NewParallelFor",
+		"parrt.Reduce",
+		"PLDD: carried dependences span the whole body",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q", want)
+		}
+	}
+}
+
+func TestExampleVideoPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs subprocesses with sleeps")
+	}
+	out := runExample(t, "./examples/videopipeline")
+	for _, want := range []string{
+		"(A || B || C+) => D => E",
+		"buggy=false",
+		"results identical to sequential",
+		"speedup pipeline vs sequential",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("videopipeline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleIndexer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs subprocesses with sleeps")
+	}
+	out := runExample(t, "./examples/indexer")
+	for _, want := range []string{"index identical", "best configuration", "speedup vs sequential"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("indexer output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleRaytrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full dynamic model of the raytracer")
+	}
+	out := runExample(t, "./examples/raytrace")
+	for _, want := range []string{
+		"patty flags 3 location(s)",
+		"hotspot-profiler flags 1 location(s)",
+		"Effectivity",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("raytrace output missing %q:\n%s", want, out)
+		}
+	}
+}

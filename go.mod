@@ -1,0 +1,3 @@
+module patty
+
+go 1.22

@@ -1,0 +1,215 @@
+// Package baseline implements the comparison detectors used in the
+// evaluation (paper §4 and §6):
+//
+//   - HotspotProfiler mimics the VTune-style "first step" of Intel
+//     Parallel Studio and of Visual Studio's built-in profiler: it
+//     flags the loops carrying the most runtime, with no dependence
+//     analysis at all. The user study found this reveals exactly the
+//     hot location and misses everything else.
+//   - StaticConservative mimics an auto-parallelizing compiler
+//     (paper §6: "compilers formally prove the correctness of the
+//     parallel result", so "the parallel potential is limited"): a
+//     loop is flagged only when every iteration is *provably*
+//     independent from static information alone — affine subscripts,
+//     no unknown calls, no unanalyzable accesses.
+//   - Patty wraps the pattern detector (package pattern) under the
+//     same interface for precision/recall comparisons (experiment E6).
+package baseline
+
+import (
+	"go/ast"
+	"sort"
+
+	"patty/internal/callgraph"
+	"patty/internal/model"
+	"patty/internal/pattern"
+)
+
+// Location identifies a flagged loop.
+type Location struct {
+	Fn     string
+	LoopID int
+}
+
+// Detector is a detection strategy under evaluation.
+type Detector interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Detect returns the loops flagged as parallelizable.
+	Detect(m *model.Model) []Location
+}
+
+// HotspotProfiler flags the TopK loops with the highest share of total
+// runtime (inclusive), mimicking a profiler's hot-region view. The
+// user study found that the built-in profiler "reveals one code
+// location with parallel potential" — that is TopK = 1, the default.
+// It needs a profiled model; without one it flags nothing — a profiler
+// cannot run without executing the program.
+type HotspotProfiler struct {
+	// TopK is how many regions the engineer inspects (default 1).
+	TopK int
+	// Threshold is the minimum share of total runtime (default 0.25).
+	Threshold float64
+}
+
+// Name implements Detector.
+func (HotspotProfiler) Name() string { return "hotspot-profiler" }
+
+// Detect implements Detector.
+func (h HotspotProfiler) Detect(m *model.Model) []Location {
+	th := h.Threshold
+	if th == 0 {
+		th = 0.25
+	}
+	k := h.TopK
+	if k == 0 {
+		k = 1
+	}
+	var loops []*model.LoopModel
+	for _, lm := range m.AllLoops() {
+		if !lm.Nested && lm.HotShare >= th {
+			loops = append(loops, lm)
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].HotShare != loops[j].HotShare {
+			return loops[i].HotShare > loops[j].HotShare
+		}
+		if loops[i].Fn.Name != loops[j].Fn.Name {
+			return loops[i].Fn.Name < loops[j].Fn.Name
+		}
+		return loops[i].LoopID < loops[j].LoopID
+	})
+	if len(loops) > k {
+		loops = loops[:k]
+	}
+	var out []Location
+	for _, lm := range loops {
+		out = append(out, Location{Fn: lm.Fn.Name, LoopID: lm.LoopID})
+	}
+	return out
+}
+
+// StaticConservative flags loops whose independence is provable
+// statically: no loop-carried dependences under the *pessimistic*
+// reading (unanalyzable accesses count as dependences — which the
+// deps package already does), no stream-breaking control flow, and no
+// calls to functions that are unknown or have side effects.
+type StaticConservative struct{}
+
+// Name implements Detector.
+func (StaticConservative) Name() string { return "static-conservative" }
+
+// Detect implements Detector.
+func (StaticConservative) Detect(m *model.Model) []Location {
+	var out []Location
+	for _, lm := range m.AllLoops() {
+		if lm.Nested {
+			continue
+		}
+		if len(lm.Static.Control) > 0 || len(lm.Static.Body) == 0 {
+			continue
+		}
+		if len(lm.Static.CarriedDeps()) > 0 {
+			continue
+		}
+		if !callsProvablyPure(m.CG, lm) {
+			continue
+		}
+		out = append(out, Location{Fn: lm.Fn.Name, LoopID: lm.LoopID})
+	}
+	return out
+}
+
+// callsProvablyPure demands that every call in the loop body resolves
+// to an intra-program function whose transitive summary is pure.
+// (Writes into the loop's own data handled via the oracle already
+// surface as dependences; this check covers what a formal prover could
+// not see at all: unknown callees.)
+func callsProvablyPure(cg *callgraph.Graph, lm *model.LoopModel) bool {
+	pure := true
+	body := loopBody(lm.Loop)
+	if body == nil {
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !pure {
+			return pure
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			switch fun.Name {
+			case "len", "cap", "min", "max", "int", "float64", "string", "byte", "rune", "append", "make":
+				return true // builtins and conversions
+			}
+			if s, ok := cg.Summaries[fun.Name]; ok {
+				if !s.Pure() {
+					pure = false
+				}
+				return true
+			}
+			pure = false // unknown callee: cannot prove anything
+		case *ast.SelectorExpr:
+			// Method call: all candidates must be pure; none → unknown.
+			name := fun.Sel.Name
+			found := false
+			for fname, s := range cg.Summaries {
+				if matchesMethod(fname, name) {
+					found = true
+					if !s.Pure() {
+						pure = false
+					}
+				}
+			}
+			if !found {
+				pure = false
+			}
+		default:
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+func matchesMethod(fnName, method string) bool {
+	for i := 0; i < len(fnName); i++ {
+		if fnName[i] == '.' {
+			return fnName[i+1:] == method
+		}
+	}
+	return false
+}
+
+func loopBody(s ast.Stmt) *ast.BlockStmt {
+	switch l := s.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// Patty adapts the pattern detector to the Detector interface.
+type Patty struct {
+	// Options forwards detection options (zero value: defaults with
+	// SkipNested).
+	Options pattern.Options
+}
+
+// Name implements Detector.
+func (Patty) Name() string { return "patty" }
+
+// Detect implements Detector.
+func (p Patty) Detect(m *model.Model) []Location {
+	opt := p.Options
+	opt.SkipNested = true
+	rep := pattern.Detect(m, opt)
+	var out []Location
+	for _, c := range rep.Candidates {
+		out = append(out, Location{Fn: c.Fn, LoopID: c.LoopID})
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"testing"
+
+	"patty/internal/interp"
+	"patty/internal/model"
+	"patty/internal/source"
+)
+
+const src = `package p
+
+func pureSq(x int) int { return x * x }
+
+func Clean(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		b[i] = pureSq(a[i])
+	}
+}
+
+var hits int
+
+func impure(x int) int {
+	hits++
+	return x
+}
+
+func Tainted(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		b[i] = impure(a[i])
+	}
+}
+
+func Hidden(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		b[idx(i)] = a[i]
+	}
+}
+
+func idx(i int) int { return i }
+
+func Main(a, b []int) int {
+	Clean(a, b)
+	Hidden(a, b)
+	s := 0
+	for k := 0; k < 40000; k++ {
+		s = (s + k) % 1000
+	}
+	return s + hits
+}
+`
+
+func buildModel(t *testing.T, dynamic bool) *model.Model {
+	t.Helper()
+	prog, err := source.ParseFile("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.Build(prog)
+	if dynamic {
+		err := m.EnrichDynamic(model.Workload{
+			Entry: "Main",
+			Args: func(im *interp.Machine) []interp.Value {
+				mk := func() *interp.Slice {
+					vals := make([]interp.Value, 8)
+					for i := range vals {
+						vals[i] = int64(i)
+					}
+					return im.NewSlice(vals...)
+				}
+				return []interp.Value{mk(), mk()}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func has(locs []Location, fn string) bool {
+	for _, l := range locs {
+		if l.Fn == fn {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticConservativeProvesOnlyClean(t *testing.T) {
+	m := buildModel(t, false)
+	locs := StaticConservative{}.Detect(m)
+	if !has(locs, "Clean") {
+		t.Errorf("provably clean loop missed: %+v", locs)
+	}
+	if has(locs, "Tainted") {
+		t.Errorf("loop calling an impure function must not be provable: %+v", locs)
+	}
+	if has(locs, "Hidden") {
+		t.Errorf("unanalyzable subscript must not be provable: %+v", locs)
+	}
+}
+
+func TestHotspotNeedsProfile(t *testing.T) {
+	if got := (HotspotProfiler{}).Detect(buildModel(t, false)); len(got) != 0 {
+		t.Fatalf("profiler without execution flagged %+v", got)
+	}
+}
+
+func TestHotspotFlagsHottestLoop(t *testing.T) {
+	m := buildModel(t, true)
+	locs := HotspotProfiler{}.Detect(m)
+	if len(locs) != 1 || locs[0].Fn != "Main" {
+		t.Fatalf("top-1 should be Main's spin loop: %+v", locs)
+	}
+	// With a larger budget the profiler surfaces more regions.
+	more := HotspotProfiler{TopK: 5, Threshold: 0.0001}.Detect(m)
+	if len(more) <= len(locs) {
+		t.Fatalf("TopK=5 should flag more: %+v", more)
+	}
+}
+
+func TestPattyDetectorOptimism(t *testing.T) {
+	m := buildModel(t, true)
+	locs := Patty{}.Detect(m)
+	if !has(locs, "Clean") {
+		t.Errorf("Clean missed: %+v", locs)
+	}
+	if !has(locs, "Hidden") {
+		t.Errorf("optimistic detector should clear Hidden's subscript dynamically: %+v", locs)
+	}
+	// Tainted writes a global through its callee on every iteration —
+	// a genuine carried dependence that optimism must NOT clear.
+	if has(locs, "Tainted") {
+		t.Errorf("global-counter loop wrongly flagged: %+v", locs)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Patty{}).Name() != "patty" ||
+		(HotspotProfiler{}).Name() != "hotspot-profiler" ||
+		(StaticConservative{}).Name() != "static-conservative" {
+		t.Fatal("detector names")
+	}
+}

@@ -1,0 +1,238 @@
+package callgraph
+
+import (
+	"go/ast"
+	"testing"
+
+	"patty/internal/deps"
+	"patty/internal/source"
+)
+
+func build(t *testing.T, src string) (*Graph, *source.Program) {
+	t.Helper()
+	p, err := source.ParseFile("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(p), p
+}
+
+func TestDirectCalls(t *testing.T) {
+	g, _ := build(t, `package p
+func A() { B(); C() }
+func B() { C() }
+func C() {}`)
+	if got := g.Callees("A"); len(got) != 2 || got[0] != "B" || got[1] != "C" {
+		t.Fatalf("A callees = %v", got)
+	}
+	if got := g.Callees("C"); len(got) != 0 {
+		t.Fatalf("C callees = %v", got)
+	}
+}
+
+func TestMethodResolution(t *testing.T) {
+	g, _ := build(t, `package p
+type T struct{ v int }
+func (t *T) M() {}
+func F(t *T) { t.M() }`)
+	if got := g.Callees("F"); len(got) != 1 || got[0] != "T.M" {
+		t.Fatalf("F callees = %v", got)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, _ := build(t, `package p
+func A() { B() }
+func B() { C() }
+func C() {}
+func D() {}`)
+	r := g.Reachable("A")
+	if len(r) != 3 {
+		t.Fatalf("Reachable(A) = %v", r)
+	}
+	for _, n := range r {
+		if n == "D" {
+			t.Fatal("D must not be reachable")
+		}
+	}
+}
+
+func TestDirectParamWrite(t *testing.T) {
+	g, _ := build(t, `package p
+func Fill(a []int, v int) {
+	for i := 0; i < len(a); i++ {
+		a[i] = v
+	}
+}`)
+	s := g.Summaries["Fill"]
+	if !s.WritesParams[0] {
+		t.Fatalf("Fill must write param 0: %+v", s)
+	}
+	if s.WritesParams[1] {
+		t.Fatal("writing the scalar copy v has no caller effect")
+	}
+	if s.Pure() {
+		t.Fatal("Fill is not pure")
+	}
+}
+
+func TestTransitiveParamWrite(t *testing.T) {
+	g, _ := build(t, `package p
+func inner(xs []int) { xs[0] = 1 }
+func Outer(ys []int) { inner(ys) }`)
+	if !g.Summaries["Outer"].WritesParams[0] {
+		t.Fatalf("Outer must transitively write param 0: %+v", g.Summaries["Outer"])
+	}
+}
+
+func TestReceiverWrite(t *testing.T) {
+	g, _ := build(t, `package p
+type Counter struct{ n int }
+func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Get() int { return c.n }
+func Bump(c *Counter) { c.Inc() }`)
+	if !g.Summaries["Counter.Inc"].WritesRecv {
+		t.Fatal("Inc writes its receiver")
+	}
+	if g.Summaries["Counter.Get"].WritesRecv {
+		t.Fatal("Get must be receiver-pure")
+	}
+	if !g.Summaries["Bump"].WritesParams[0] {
+		t.Fatalf("Bump mutates its parameter via Inc: %+v", g.Summaries["Bump"])
+	}
+}
+
+func TestGlobalWritePropagates(t *testing.T) {
+	g, _ := build(t, `package p
+var counter int
+func bump() { counter++ }
+func Outer() { bump() }`)
+	if !g.Summaries["bump"].WritesGlobals["counter"] {
+		t.Fatal("bump writes global")
+	}
+	if !g.Summaries["Outer"].WritesGlobals["counter"] {
+		t.Fatal("Outer transitively writes global")
+	}
+}
+
+func TestPureFunction(t *testing.T) {
+	g, _ := build(t, `package p
+func Sq(x int) int { return x * x }
+func Twice(x int) int { return Sq(x) + Sq(x) }`)
+	if !g.Summaries["Sq"].Pure() || !g.Summaries["Twice"].Pure() {
+		t.Fatal("arithmetic helpers must be pure")
+	}
+}
+
+func TestExternalCallsOptimistic(t *testing.T) {
+	g, _ := build(t, `package p
+import "fmt"
+func F(x int) { fmt.Println(x) }`)
+	if !g.Summaries["F"].Pure() {
+		t.Fatalf("external calls are optimistic no-ops: %+v", g.Summaries["F"])
+	}
+}
+
+func TestCallEffectsOracle(t *testing.T) {
+	g, prog := build(t, `package p
+func fill(a []int) { a[0] = 1 }
+func Caller(buf []int) {
+	fill(buf)
+}`)
+	fn := prog.Func("Caller")
+	res := deps.Resolve(fn)
+	accs := deps.Accesses(res, fn.Stmt(0), g)
+	foundWrite := false
+	for _, a := range accs {
+		if a.Sym != nil && a.Sym.Name == "buf" && a.Kind == deps.WriteAccess {
+			foundWrite = true
+		}
+	}
+	if !foundWrite {
+		t.Fatalf("oracle must surface the write to buf: %+v", accs)
+	}
+}
+
+func TestCopyBuiltinEffect(t *testing.T) {
+	g, prog := build(t, `package p
+func F(dst, src []int) {
+	copy(dst, src)
+}`)
+	fn := prog.Func("F")
+	res := deps.Resolve(fn)
+	accs := deps.Accesses(res, fn.Stmt(0), g)
+	found := false
+	for _, a := range accs {
+		if a.Sym != nil && a.Sym.Name == "dst" && a.Kind == deps.WriteAccess {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("copy must write dst: %+v", accs)
+	}
+}
+
+func TestCallEffectsMethodReceiver(t *testing.T) {
+	g, prog := build(t, `package p
+type Buf struct{ items []int }
+func (b *Buf) Add(x int) { b.items = append(b.items, x) }
+func Use(b *Buf) {
+	b.Add(1)
+}`)
+	fn := prog.Func("Use")
+	res := deps.Resolve(fn)
+	accs := deps.Accesses(res, fn.Stmt(0), g)
+	found := false
+	for _, a := range accs {
+		if a.Sym != nil && a.Sym.Name == "b" && a.Kind == deps.WriteAccess {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("b.Add must write receiver b: %+v", accs)
+	}
+}
+
+func TestLoopAnalysisWithOracleVideoShape(t *testing.T) {
+	// The paper's Fig. 3a shape: filters are pure, Add mutates the
+	// output stream object. Stage E must show the carried dep, the
+	// filter stages must not.
+	g, prog := build(t, `package p
+type Image struct{ px int }
+type Stream struct{ imgs []Image }
+func (s *Stream) Add(i Image) { s.imgs = append(s.imgs, i) }
+func crop(i Image) Image { return Image{i.px * 2} }
+func histo(i Image) Image { return Image{i.px + 1} }
+func Process(in []Image, out *Stream) {
+	for _, img := range in {
+		c := crop(img)
+		h := histo(img)
+		r := Image{c.px + h.px}
+		out.Add(r)
+	}
+}`)
+	fn := prog.Func("Process")
+	li := deps.AnalyzeLoop(fn, fn.Loops()[0], g)
+	carried := li.CarriedDeps()
+	if len(carried) == 0 {
+		t.Fatal("out.Add must be carried")
+	}
+	for _, d := range carried {
+		if d.Sym.Name != "out" {
+			t.Errorf("only out should carry, got %+v", d)
+		}
+	}
+}
+
+func TestIndexHelpers(t *testing.T) {
+	if indexByte("a.b", '.') != 1 || indexByte("ab", '.') != -1 {
+		t.Fatal("indexByte broken")
+	}
+	if !containsStr([]string{"a"}, "a") || containsStr(nil, "x") {
+		t.Fatal("containsStr broken")
+	}
+	var e ast.Expr = &ast.BasicLit{}
+	if _, ok := baseIdent(e); ok {
+		t.Fatal("literal has no base ident")
+	}
+}

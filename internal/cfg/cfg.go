@@ -1,0 +1,331 @@
+// Package cfg builds intraprocedural control flow graphs from Go ASTs.
+//
+// The CFG is one of the four ingredients of the paper's semantic model
+// (control flow × data dependencies × call graph × runtime
+// information). It is also where the PLCD pipeline rule reads control
+// dependencies from: break/return/continue statements inside a loop
+// body surface here as edges leaving the loop or short-circuiting the
+// iteration.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"patty/internal/source"
+)
+
+// BlockKind classifies CFG nodes for reporting.
+type BlockKind int
+
+const (
+	// PlainBlock holds straight-line statements.
+	PlainBlock BlockKind = iota
+	// EntryBlock is the unique function entry.
+	EntryBlock
+	// ExitBlock is the unique function exit.
+	ExitBlock
+	// CondBlock evaluates a branch condition (if/for/switch).
+	CondBlock
+)
+
+// String returns a short block-kind name.
+func (k BlockKind) String() string {
+	switch k {
+	case PlainBlock:
+		return "block"
+	case EntryBlock:
+		return "entry"
+	case ExitBlock:
+		return "exit"
+	case CondBlock:
+		return "cond"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Block is a basic block: a maximal straight-line statement sequence.
+type Block struct {
+	ID    int
+	Kind  BlockKind
+	Stmts []ast.Stmt
+	Succs []*Block
+	Preds []*Block
+	// Cond is the branch condition expression for CondBlocks (nil for
+	// range loops and condition-less for loops).
+	Cond ast.Expr
+}
+
+// Graph is the control flow graph of one function.
+type Graph struct {
+	Fn     *source.Function
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// builder threads loop context (break/continue targets) through the
+// recursive construction.
+type builder struct {
+	g *Graph
+	// breakTo / continueTo map nesting depth to targets; labels are
+	// handled by name.
+	breaks    []*Block
+	continues []*Block
+	labels    map[string]struct{ brk, cont *Block }
+}
+
+// Build constructs the CFG of fn.
+func Build(fn *source.Function) *Graph {
+	g := &Graph{Fn: fn}
+	b := &builder{g: g, labels: make(map[string]struct{ brk, cont *Block })}
+	g.Entry = b.newBlock(EntryBlock)
+	g.Exit = b.newBlock(ExitBlock)
+	last := b.stmts(fn.Decl.Body.List, g.Entry, "")
+	if last != nil {
+		b.link(last, g.Exit)
+	}
+	return g
+}
+
+func (b *builder) newBlock(kind BlockKind) *Block {
+	blk := &Block{ID: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// stmts appends the statement list to cur, returning the block control
+// falls out of (nil if control never falls through, e.g. after return).
+func (b *builder) stmts(list []ast.Stmt, cur *Block, label string) *Block {
+	for _, s := range list {
+		cur = b.stmt(s, cur, label)
+		label = "" // label applies to the first statement only
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// stmt appends one statement, returning the fall-through block.
+func (b *builder) stmt(s ast.Stmt, cur *Block, label string) *Block {
+	if cur == nil {
+		return nil
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(st.List, cur, "")
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur.Stmts = append(cur.Stmts, st.Init)
+		}
+		cond := b.newBlock(CondBlock)
+		cond.Cond = st.Cond
+		cond.Stmts = append(cond.Stmts, s) // anchor: the if itself
+		b.link(cur, cond)
+		after := b.newBlock(PlainBlock)
+		thenEnd := b.stmts(st.Body.List, b.branchFrom(cond), "")
+		if thenEnd != nil {
+			b.link(thenEnd, after)
+		}
+		if st.Else != nil {
+			elseEnd := b.stmt(st.Else, b.branchFrom(cond), "")
+			if elseEnd != nil {
+				b.link(elseEnd, after)
+			}
+		} else {
+			b.link(cond, after)
+		}
+		return after
+	case *ast.ForStmt:
+		if st.Init != nil {
+			cur.Stmts = append(cur.Stmts, st.Init)
+		}
+		head := b.newBlock(CondBlock)
+		head.Cond = st.Cond
+		head.Stmts = append(head.Stmts, s) // anchor: the loop itself
+		b.link(cur, head)
+		after := b.newBlock(PlainBlock)
+		post := b.newBlock(PlainBlock)
+		if st.Post != nil {
+			post.Stmts = append(post.Stmts, st.Post)
+		}
+		b.pushLoop(after, post, label)
+		bodyEnd := b.stmts(st.Body.List, b.branchFrom(head), "")
+		b.popLoop(label)
+		if bodyEnd != nil {
+			b.link(bodyEnd, post)
+		}
+		b.link(post, head)
+		if st.Cond != nil {
+			b.link(head, after)
+		}
+		return after
+	case *ast.RangeStmt:
+		head := b.newBlock(CondBlock)
+		head.Stmts = append(head.Stmts, s) // anchor: the range itself
+		b.link(cur, head)
+		after := b.newBlock(PlainBlock)
+		post := b.newBlock(PlainBlock)
+		b.pushLoop(after, post, label)
+		bodyEnd := b.stmts(st.Body.List, b.branchFrom(head), "")
+		b.popLoop(label)
+		if bodyEnd != nil {
+			b.link(bodyEnd, post)
+		}
+		b.link(post, head)
+		b.link(head, after)
+		return after
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			cur.Stmts = append(cur.Stmts, st.Init)
+		}
+		cond := b.newBlock(CondBlock)
+		cond.Cond = st.Tag
+		cond.Stmts = append(cond.Stmts, s)
+		b.link(cur, cond)
+		after := b.newBlock(PlainBlock)
+		b.breaks = append(b.breaks, after)
+		hasDefault := false
+		for _, cc := range st.Body.List {
+			clause := cc.(*ast.CaseClause)
+			if clause.List == nil {
+				hasDefault = true
+			}
+			end := b.stmts(clause.Body, b.branchFrom(cond), "")
+			if end != nil {
+				b.link(end, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if !hasDefault {
+			b.link(cond, after)
+		}
+		return after
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		b.link(cur, b.g.Exit)
+		return nil
+	case *ast.BranchStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		switch st.Tok.String() {
+		case "break":
+			if t := b.branchTarget(st, true); t != nil {
+				b.link(cur, t)
+			}
+			return nil
+		case "continue":
+			if t := b.branchTarget(st, false); t != nil {
+				b.link(cur, t)
+			}
+			return nil
+		case "goto":
+			// goto is outside the modelled subset; treat as opaque
+			// fall-through so analysis remains conservative upstream.
+			return cur
+		}
+		return cur
+	case *ast.LabeledStmt:
+		return b.stmt(st.Stmt, cur, st.Label.Name)
+	default:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// branchFrom starts a fresh block succeeding cond.
+func (b *builder) branchFrom(cond *Block) *Block {
+	blk := b.newBlock(PlainBlock)
+	b.link(cond, blk)
+	return blk
+}
+
+func (b *builder) pushLoop(brk, cont *Block, label string) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		b.labels[label] = struct{ brk, cont *Block }{brk, cont}
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+}
+
+func (b *builder) branchTarget(st *ast.BranchStmt, isBreak bool) *Block {
+	if st.Label != nil {
+		if t, ok := b.labels[st.Label.Name]; ok {
+			if isBreak {
+				return t.brk
+			}
+			return t.cont
+		}
+		return nil
+	}
+	if isBreak {
+		if len(b.breaks) == 0 {
+			return nil
+		}
+		return b.breaks[len(b.breaks)-1]
+	}
+	if len(b.continues) == 0 {
+		return nil
+	}
+	return b.continues[len(b.continues)-1]
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s:\n", g.Fn.Name)
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "  b%d(%s)", blk.ID, blk.Kind)
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.ID)
+			}
+		}
+		fmt.Fprintf(&sb, " [%d stmts]\n", len(blk.Stmts))
+	}
+	return sb.String()
+}
+
+// Reachable reports whether the exit is reachable from the entry —
+// a sanity invariant for every well-formed function body.
+func (g *Graph) Reachable() bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.Entry)
+}

@@ -1,0 +1,304 @@
+package cfg
+
+import (
+	"testing"
+
+	"patty/internal/source"
+)
+
+func buildFor(t *testing.T, src, fn string) *Graph {
+	t.Helper()
+	p, err := source.ParseFile("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Func(fn)
+	if f == nil {
+		t.Fatalf("function %s not found", fn)
+	}
+	return Build(f)
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFor(t, `package p
+func F() {
+	a := 1
+	b := a + 2
+	_ = b
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+	if len(g.Entry.Stmts) != 3 {
+		t.Fatalf("entry block has %d stmts, want 3", len(g.Entry.Stmts))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatal("straight-line function should go entry -> exit")
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFor(t, `package p
+func F(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	} else {
+		y = 2
+	}
+	return y
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Kind == CondBlock {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no condition block")
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("if condition has %d successors, want 2", len(cond.Succs))
+	}
+}
+
+func TestIfWithoutElseFallsThrough(t *testing.T) {
+	g := buildFor(t, `package p
+func F(x int) int {
+	if x > 0 {
+		x = -x
+	}
+	return x
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	g := buildFor(t, `package p
+func F(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+	// Find the loop head and verify there is a back edge into it.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == CondBlock {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head")
+	}
+	if len(head.Preds) < 2 {
+		t.Fatalf("loop head should have entry and back edge, got %d preds", len(head.Preds))
+	}
+}
+
+func TestBreakLeavesLoop(t *testing.T) {
+	g := buildFor(t, `package p
+func F(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		s += i
+	}
+	return s
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestContinueGoesToPost(t *testing.T) {
+	g := buildFor(t, `package p
+func F(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		s += i
+	}
+	return s
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFor(t, `package p
+func F(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestEarlyReturn(t *testing.T) {
+	g := buildFor(t, `package p
+func F(x int) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Fatalf("exit should have 2 predecessors (both returns), got %d", len(g.Exit.Preds))
+	}
+}
+
+func TestSwitchClauses(t *testing.T) {
+	g := buildFor(t, `package p
+func F(x int) int {
+	y := 0
+	switch x {
+	case 1:
+		y = 1
+	case 2:
+		y = 2
+	default:
+		y = 3
+	}
+	return y
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Kind == CondBlock {
+			cond = b
+		}
+	}
+	if cond == nil || len(cond.Succs) != 3 {
+		t.Fatalf("switch cond should have 3 successors, got %v", cond)
+	}
+}
+
+func TestInfiniteLoopNoExitEdgeFromHead(t *testing.T) {
+	g := buildFor(t, `package p
+func F() {
+	for {
+		break
+	}
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("break should make exit reachable")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := buildFor(t, `package p
+func F(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += i * j
+		}
+	}
+	return s
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+	conds := 0
+	for _, b := range g.Blocks {
+		if b.Kind == CondBlock {
+			conds++
+		}
+	}
+	if conds != 2 {
+		t.Fatalf("expected 2 loop heads, got %d", conds)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFor(t, `package p
+func F(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i*j > 10 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`, "F")
+	if !g.Reachable() {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestStringAndKinds(t *testing.T) {
+	g := buildFor(t, `package p
+func F() { _ = 1 }`, "F")
+	if g.String() == "" {
+		t.Fatal("empty String()")
+	}
+	kinds := map[BlockKind]string{PlainBlock: "block", EntryBlock: "entry", ExitBlock: "exit", CondBlock: "cond"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if BlockKind(7).String() != "kind(7)" {
+		t.Errorf("unknown kind = %q", BlockKind(7).String())
+	}
+}
+
+func TestPredSuccConsistency(t *testing.T) {
+	g := buildFor(t, `package p
+func F(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			s += i
+		} else if i%3 == 0 {
+			s -= i
+		}
+	}
+	switch {
+	case s > 0:
+		return s
+	}
+	return -s
+}`, "F")
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("b%d -> b%d missing reverse edge", b.ID, s.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package corpus holds the benchmark programs of the evaluation and
+// the precision/recall machinery of experiment E6 (paper §5: detection
+// quality against a manually parallelized ground truth).
+//
+// Every program is written in the interpreter subset (package interp)
+// and carries a per-loop ground truth produced the way the paper did
+// it: by manual analysis of which outermost loops a skilled engineer
+// would parallelize. The corpus deliberately contains the failure
+// modes of optimistic pattern detection — early-exit loops an expert
+// would parallelize speculatively (Patty false negatives via PLCD),
+// idempotent or privatizable updates (false negatives via PLDD), and
+// input-dependent aliasing that a sample workload cannot expose
+// (false positives of optimism) — so the measured F-score is an
+// honest analogue of the paper's ≈70%, not a rigged 100%.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"patty/internal/baseline"
+	"patty/internal/interp"
+	"patty/internal/model"
+	"patty/internal/pattern"
+	"patty/internal/source"
+)
+
+// Loc identifies one outermost loop by function name and its ordinal
+// among that function's loops (pre-order).
+type Loc struct {
+	Fn      string
+	LoopIdx int
+}
+
+// Truth is one ground-truth entry.
+type Truth struct {
+	Loc
+	// Kind is the pattern a skilled engineer would apply.
+	Kind pattern.Kind
+	// Hot marks the location a plain profiler reveals (the paper's
+	// study benchmark had exactly one such location).
+	Hot bool
+	// Note documents why the location is parallelizable.
+	Note string
+}
+
+// Program is one corpus benchmark.
+type Program struct {
+	Name        string
+	Description string
+	Source      string
+	// Entry and Args define the sample workload for dynamic analysis.
+	Entry string
+	Args  func(m *interp.Machine) []interp.Value
+	// Truth lists the parallelizable outermost loops; every other
+	// outermost loop is a negative.
+	Truth []Truth
+}
+
+// Load parses the program.
+func (p *Program) Load() (*source.Program, error) {
+	return source.ParseFile(p.Name+".go", p.Source)
+}
+
+// Workload returns the sample workload for dynamic enrichment.
+func (p *Program) Workload() model.Workload {
+	return model.Workload{Entry: p.Entry, Args: p.Args}
+}
+
+// BuildModel constructs the semantic model, optionally enriched with
+// the sample workload.
+func (p *Program) BuildModel(dynamic bool) (*model.Model, error) {
+	prog, err := p.Load()
+	if err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", p.Name, err)
+	}
+	m := model.Build(prog)
+	if dynamic {
+		if err := m.EnrichDynamic(p.Workload()); err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", p.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// LoC counts non-blank source lines.
+func (p *Program) LoC() int {
+	n := 0
+	for _, line := range strings.Split(p.Source, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// resolveLoc maps a Loc to the loop's statement id.
+func resolveLoc(prog *source.Program, l Loc) (int, error) {
+	fn := prog.Func(l.Fn)
+	if fn == nil {
+		return -1, fmt.Errorf("corpus: unknown function %q", l.Fn)
+	}
+	loops := fn.Loops()
+	if l.LoopIdx < 0 || l.LoopIdx >= len(loops) {
+		return -1, fmt.Errorf("corpus: %s has %d loops, want index %d", l.Fn, len(loops), l.LoopIdx)
+	}
+	return fn.StmtID(loops[l.LoopIdx]), nil
+}
+
+// Score aggregates a detector's corpus-wide detection quality.
+type Score struct {
+	Detector   string
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+	// PerProgram maps program name → "TP/FP/FN" summary.
+	PerProgram map[string]string
+}
+
+// Evaluate runs each detector over the corpus and scores it against
+// the ground truth. dynamic selects whether models are enriched with
+// the sample workloads (detectors that need profiles flag nothing
+// otherwise — exactly like their real counterparts).
+func Evaluate(dets []baseline.Detector, progs []*Program, dynamic bool) ([]Score, error) {
+	scores := make([]Score, len(dets))
+	for i, d := range dets {
+		scores[i] = Score{Detector: d.Name(), PerProgram: make(map[string]string)}
+	}
+	for _, p := range progs {
+		m, err := p.BuildModel(dynamic)
+		if err != nil {
+			return nil, err
+		}
+		prog := m.Prog
+		truth := make(map[baseline.Location]bool)
+		for _, tr := range p.Truth {
+			id, err := resolveLoc(prog, tr.Loc)
+			if err != nil {
+				return nil, err
+			}
+			truth[baseline.Location{Fn: tr.Fn, LoopID: id}] = true
+		}
+		for i, d := range dets {
+			flagged := d.Detect(m)
+			tp, fp := 0, 0
+			seen := make(map[baseline.Location]bool)
+			for _, loc := range flagged {
+				if seen[loc] {
+					continue
+				}
+				seen[loc] = true
+				if truth[loc] {
+					tp++
+				} else {
+					fp++
+				}
+			}
+			fn := len(truth) - tp
+			scores[i].TP += tp
+			scores[i].FP += fp
+			scores[i].FN += fn
+			scores[i].PerProgram[p.Name] = fmt.Sprintf("%d/%d/%d", tp, fp, fn)
+		}
+	}
+	for i := range scores {
+		s := &scores[i]
+		if s.TP+s.FP > 0 {
+			s.Precision = float64(s.TP) / float64(s.TP+s.FP)
+		}
+		if s.TP+s.FN > 0 {
+			s.Recall = float64(s.TP) / float64(s.TP+s.FN)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+	}
+	return scores, nil
+}
+
+// All returns every corpus program, name-sorted.
+func All() []*Program {
+	progs := []*Program{
+		rayTrace(),
+		videoPipeline(),
+		indexer(),
+		matMul(),
+		histogram(),
+		mandelbrot(),
+		prefixSum(),
+		monteCarlo(),
+		scatter(),
+		gatherUpdate(),
+		anyMatch(),
+		compact(),
+		nBody(),
+		smooth(),
+		wordFreq(),
+		memsetDup(),
+		kMeans(),
+		conv2D(),
+	}
+	sort.Slice(progs, func(i, j int) bool { return progs[i].Name < progs[j].Name })
+	return progs
+}
+
+// Get returns a corpus program by name, or nil.
+func Get(name string) *Program {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// TotalLoC sums the corpus size.
+func TotalLoC() int {
+	n := 0
+	for _, p := range All() {
+		n += p.LoC()
+	}
+	return n
+}

@@ -1,0 +1,264 @@
+package corpus
+
+import (
+	"testing"
+
+	"patty/internal/baseline"
+	"patty/internal/interp"
+	"patty/internal/model"
+	"patty/internal/pattern"
+)
+
+func TestAllProgramsParseAndRun(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Load()
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			m := interp.NewMachine(prog)
+			vals, prof, err := m.Run(p.Entry, p.Args(m), interp.Options{})
+			if err != nil {
+				t.Fatalf("interpret: %v", err)
+			}
+			if len(vals) == 0 {
+				t.Fatal("entry returned nothing")
+			}
+			if prof.Total == 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+			// Ground truth must resolve.
+			for _, tr := range p.Truth {
+				if _, err := resolveLoc(prog, tr.Loc); err != nil {
+					t.Fatalf("ground truth: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestCorpusIsDeterministic(t *testing.T) {
+	p := Get("raytrace")
+	if p == nil {
+		t.Fatal("missing raytrace")
+	}
+	prog, err := p.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []interp.Value
+	for i := 0; i < 2; i++ {
+		m := interp.NewMachine(prog)
+		vals, _, err := m.Run(p.Entry, p.Args(m), interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, vals[0])
+	}
+	if results[0] != results[1] {
+		t.Fatalf("nondeterministic corpus run: %v vs %v", results[0], results[1])
+	}
+}
+
+func TestRayTraceShape(t *testing.T) {
+	p := Get("raytrace")
+	prog, err := p.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §4.1: 13 classes, 173 LoC.
+	types := 0
+	for _, name := range []string{} {
+		_ = name
+	}
+	src := p.Source
+	for i := 0; i+5 < len(src); i++ {
+		if src[i:i+5] == "type " {
+			types++
+		}
+	}
+	if types != 13 {
+		t.Errorf("raytrace has %d types, want 13 (paper: 13 classes)", types)
+	}
+	loc := p.LoC()
+	if loc < 150 || loc > 260 {
+		t.Errorf("raytrace LoC = %d, want close to the paper's 173", loc)
+	}
+	if prog.Func("Renderer.Render") == nil {
+		t.Error("missing Renderer.Render")
+	}
+	hot := 0
+	for _, tr := range p.Truth {
+		if tr.Hot {
+			hot++
+		}
+	}
+	if len(p.Truth) != 3 || hot != 1 {
+		t.Errorf("raytrace ground truth: %d locations (%d hot), want 3 with exactly 1 hot", len(p.Truth), hot)
+	}
+}
+
+// TestPattyFindsExactlyRaytraceTruth is the objective core of the user
+// study (E5): Patty detects all three locations and nothing else.
+func TestPattyFindsExactlyRaytraceTruth(t *testing.T) {
+	p := Get("raytrace")
+	m, err := p.BuildModel(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := baseline.Patty{}.Detect(m)
+	truth := make(map[baseline.Location]bool)
+	for _, tr := range p.Truth {
+		id, err := resolveLoc(m.Prog, tr.Loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[baseline.Location{Fn: tr.Fn, LoopID: id}] = true
+	}
+	for _, loc := range flagged {
+		if !truth[loc] {
+			t.Errorf("false positive: %+v", loc)
+		}
+		delete(truth, loc)
+	}
+	for loc := range truth {
+		t.Errorf("missed ground truth: %+v", loc)
+	}
+}
+
+// TestHotspotFindsOnlyHotLocation reproduces the study's finding that
+// the profiler reveals exactly one location in the benchmark.
+func TestHotspotFindsOnlyHotLocation(t *testing.T) {
+	p := Get("raytrace")
+	m, err := p.BuildModel(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := baseline.HotspotProfiler{}.Detect(m)
+	if len(flagged) != 1 {
+		t.Fatalf("profiler flagged %d locations, want exactly 1 (the render loop): %+v", len(flagged), flagged)
+	}
+	if flagged[0].Fn != "Renderer.Render" {
+		t.Fatalf("profiler flagged %+v, want Renderer.Render", flagged[0])
+	}
+}
+
+func TestEvaluateDirectionalResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus evaluation is slow")
+	}
+	dets := []baseline.Detector{
+		baseline.Patty{},
+		baseline.HotspotProfiler{},
+		baseline.StaticConservative{},
+	}
+	scores, err := Evaluate(dets, All(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Score{}
+	for _, s := range scores {
+		byName[s.Detector] = s
+		t.Logf("%-20s TP=%d FP=%d FN=%d P=%.2f R=%.2f F1=%.2f per-program=%v",
+			s.Detector, s.TP, s.FP, s.FN, s.Precision, s.Recall, s.F1, s.PerProgram)
+	}
+	patty := byName["patty"]
+	hot := byName["hotspot-profiler"]
+	static := byName["static-conservative"]
+
+	// §5: "high values for precision and recall with a balanced
+	// F-score of approximately 70%".
+	if patty.F1 < 0.60 || patty.F1 > 0.95 {
+		t.Errorf("patty F1 = %.2f, want the paper's 'high but imperfect' band [0.60, 0.95]", patty.F1)
+	}
+	if patty.FN == 0 {
+		t.Error("corpus must exercise Patty false negatives (PLCD, privatization)")
+	}
+	if patty.FP == 0 {
+		t.Error("corpus must exercise optimism false positives")
+	}
+	// Patty must beat both baselines.
+	if patty.F1 <= hot.F1 {
+		t.Errorf("patty F1 %.2f must beat hotspot %.2f", patty.F1, hot.F1)
+	}
+	if patty.F1 <= static.F1 {
+		t.Errorf("patty F1 %.2f must beat static-conservative %.2f", patty.F1, static.F1)
+	}
+	// The profiler finds only hot spots: recall well below Patty's.
+	if hot.Recall >= patty.Recall {
+		t.Errorf("hotspot recall %.2f must trail patty %.2f", hot.Recall, patty.Recall)
+	}
+	// The conservative detector must not produce false positives.
+	if static.FP != 0 {
+		t.Errorf("static-conservative produced %d false positives; a prover never does", static.FP)
+	}
+	if static.Recall >= patty.Recall {
+		t.Errorf("static recall %.2f must trail patty %.2f", static.Recall, patty.Recall)
+	}
+}
+
+func TestEvaluateStaticOnlyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// Ablation from DESIGN.md §5: optimistic (dynamic) vs conservative
+	// (static-only) dependence analysis.
+	dynamicScores, err := Evaluate([]baseline.Detector{baseline.Patty{}}, All(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticScores, err := Evaluate([]baseline.Detector{
+		baseline.Patty{Options: pattern.Options{StaticOnly: true}},
+	}, All(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, st := dynamicScores[0], staticScores[0]
+	t.Logf("dynamic: P=%.2f R=%.2f F1=%.2f | static-only: P=%.2f R=%.2f F1=%.2f",
+		dyn.Precision, dyn.Recall, dyn.F1, st.Precision, st.Recall, st.F1)
+	if dyn.Recall <= st.Recall {
+		t.Errorf("optimistic analysis must recall more than static-only: %.2f vs %.2f", dyn.Recall, st.Recall)
+	}
+}
+
+func TestTotalLoCAndGet(t *testing.T) {
+	if TotalLoC() < 500 {
+		t.Errorf("corpus unexpectedly small: %d LoC", TotalLoC())
+	}
+	if Get("nope") != nil {
+		t.Error("Get of unknown program should be nil")
+	}
+	if len(All()) < 12 {
+		t.Errorf("corpus has %d programs, want >= 12", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name] {
+			t.Errorf("duplicate program name %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Description == "" {
+			t.Errorf("%s: missing description", p.Name)
+		}
+	}
+}
+
+func TestModelBuildAllDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := p.BuildModel(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.Profiled || m.TotalTime == 0 {
+				t.Fatal("model not profiled")
+			}
+			_ = model.Workload{}
+		})
+	}
+}

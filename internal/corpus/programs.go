@@ -1,0 +1,859 @@
+package corpus
+
+import (
+	"patty/internal/interp"
+	"patty/internal/pattern"
+)
+
+// intSlice builds a traced slice of int64 values from a generator.
+func intSlice(m *interp.Machine, n int, f func(i int) int64) *interp.Slice {
+	vals := make([]interp.Value, n)
+	for i := range vals {
+		vals[i] = f(i)
+	}
+	return m.NewSlice(vals...)
+}
+
+// floatSlice builds a traced slice of float64 values from a generator.
+func floatSlice(m *interp.Machine, n int, f func(i int) float64) *interp.Slice {
+	vals := make([]interp.Value, n)
+	for i := range vals {
+		vals[i] = f(i)
+	}
+	return m.NewSlice(vals...)
+}
+
+// lcg is the deterministic input generator used by the workloads.
+func lcg(seed int64) func() int64 {
+	v := seed
+	return func() int64 {
+		v = (v*1103515245 + 12345) % 2147483647
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+}
+
+// indexer is the desktop-search index generator of paper ref [28]:
+// per-document tokenization feeding an ordered index merge.
+func indexer() *Program {
+	return &Program{
+		Name:        "indexer",
+		Description: "desktop-search index generator [28]: tokenize => merge pipeline",
+		Source:      indexerSrc,
+		Entry:       "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			words := []string{"The", "Quick", "Brown", "Fox", "Jumps", "Over", "Lazy", "Dog"}
+			next := lcg(7)
+			docs := make([]interp.Value, 10)
+			for i := range docs {
+				text := ""
+				for k := 0; k < 9; k++ {
+					text = text + words[next()%int64(len(words))] + " "
+				}
+				docs[i] = m.NewStructValue("Doc", int64(i), text)
+			}
+			return []interp.Value{m.NewSlice(docs...)}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "BuildIndex", LoopIdx: 0}, Kind: pattern.PipelineKind, Hot: true,
+				Note: "tokenize (replicable) => index merge (ordered)"},
+		},
+	}
+}
+
+const indexerSrc = `package p
+
+type Doc struct {
+	ID   int
+	Text string
+}
+
+type Index struct {
+	Counts map[string]int
+	Total  int
+}
+
+func lower(c int) int {
+	if c >= 65 && c <= 90 {
+		return c + 32
+	}
+	return c
+}
+
+func appendChar(s string, c int) string {
+	return s + string(c)
+}
+
+func normalize(w string) string {
+	out := ""
+	for i := 0; i < len(w); i++ {
+		out = appendChar(out, lower(int(w[i])))
+	}
+	return out
+}
+
+func Tokenize(text string) []string {
+	words := []string{}
+	cur := ""
+	for i := 0; i < len(text); i++ {
+		if int(text[i]) == 32 {
+			if len(cur) > 0 {
+				words = append(words, normalize(cur))
+			}
+			cur = ""
+		} else {
+			cur = cur + string(text[i])
+		}
+	}
+	if len(cur) > 0 {
+		words = append(words, normalize(cur))
+	}
+	return words
+}
+
+func (ix *Index) AddAll(words []string) {
+	for i := 0; i < len(words); i++ {
+		ix.Counts[words[i]] = ix.Counts[words[i]] + 1
+		ix.Total = ix.Total + 1
+	}
+}
+
+func BuildIndex(docs []Doc, ix *Index) {
+	for _, d := range docs {
+		words := Tokenize(d.Text)
+		ix.AddAll(words)
+	}
+}
+
+func contains(text, w string) int {
+	if len(w) > len(text) {
+		return 0
+	}
+	for i := 0; i+len(w) <= len(text); i++ {
+		match := 1
+		for j := 0; j < len(w); j++ {
+			if text[i+j] != w[j] {
+				match = 0
+				break
+			}
+		}
+		if match == 1 {
+			return 1
+		}
+	}
+	return 0
+}
+
+func FindDoc(docs []Doc, word string) int {
+	for i := 0; i < len(docs); i++ {
+		if contains(docs[i].Text, word) == 1 {
+			return i
+		}
+	}
+	return -1
+}
+
+func Main(docs []Doc) int {
+	ix := &Index{Counts: make(map[string]int), Total: 0}
+	BuildIndex(docs, ix)
+	return ix.Total + FindDoc(docs, "Fox") + ix.Counts["the"]
+}
+`
+
+// matMul: dense matrix multiply; the outer row loop is the classic
+// data-parallel target.
+func matMul() *Program {
+	return &Program{
+		Name:        "matmul",
+		Description: "dense matrix multiply: row-parallel outer loop",
+		Source:      matMulSrc,
+		Entry:       "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			n := 8
+			next := lcg(3)
+			mat := func() *interp.Slice {
+				rows := make([]interp.Value, n)
+				for i := range rows {
+					rows[i] = floatSlice(m, n, func(int) float64 {
+						return float64(next()%1000) / 1000.0
+					})
+				}
+				return m.NewSlice(rows...)
+			}
+			zero := func() *interp.Slice {
+				rows := make([]interp.Value, n)
+				for i := range rows {
+					rows[i] = floatSlice(m, n, func(int) float64 { return 0.0 })
+				}
+				return m.NewSlice(rows...)
+			}
+			return []interp.Value{mat(), mat(), zero(), int64(n)}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "MatMul", LoopIdx: 0}, Kind: pattern.DataParallelKind, Hot: true,
+				Note: "rows are independent"},
+		},
+	}
+}
+
+const matMulSrc = `package p
+
+func MatMul(a, b, c [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s = s + a[i][k]*b[k][j]
+			}
+			c[i][j] = s
+		}
+	}
+}
+
+func Main(a, b, c [][]float64, n int) float64 {
+	MatMul(a, b, c, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t = t*0.5 + c[i][i]
+	}
+	return t
+}
+`
+
+// histogram: indirect increments collide, so the loop is NOT safely
+// parallel as written — but a skilled engineer parallelizes it with
+// private sub-histograms, so the ground truth marks it parallelizable.
+// Patty rejects it (observed carried dependence): a by-design false
+// negative of pattern detection without privatization support.
+func histogram() *Program {
+	return &Program{
+		Name:        "histogram",
+		Description: "indirect histogram: parallelizable via privatization (Patty FN)",
+		Source: `package p
+
+func Histogram(data []int, hist []int) {
+	for i := 0; i < len(data); i++ {
+		hist[data[i]] = hist[data[i]] + 1
+	}
+}
+
+func Main(data []int, hist []int) int {
+	Histogram(data, hist)
+	best := 0
+	for i := 0; i < len(hist); i++ {
+		if hist[i] > best {
+			best = hist[i]
+		}
+	}
+	return best
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			next := lcg(11)
+			return []interp.Value{
+				intSlice(m, 200, func(int) int64 { return next() % 16 }),
+				intSlice(m, 16, func(int) int64 { return 0 }),
+			}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Histogram", LoopIdx: 0}, Kind: pattern.DataParallelKind, Hot: true,
+				Note: "expert parallelizes with private histograms; optimistic detection sees the collisions and refuses"},
+		},
+	}
+}
+
+// mandelbrot: per-pixel escape iteration — independent pixels with
+// highly irregular cost; the escape loop itself is a sequential
+// recurrence.
+func mandelbrot() *Program {
+	return &Program{
+		Name:        "mandelbrot",
+		Description: "escape-time fractal: independent pixels, irregular cost",
+		Source:      mandelbrotSrc,
+		Entry:       "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			w, h := 24, 16
+			return []interp.Value{
+				intSlice(m, w*h, func(int) int64 { return 0 }),
+				int64(w), int64(h),
+			}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Mandelbrot", LoopIdx: 0}, Kind: pattern.DataParallelKind, Hot: true,
+				Note: "pixels are independent; irregular cost favours dynamic scheduling"},
+		},
+	}
+}
+
+const mandelbrotSrc = `package p
+
+func escape(x0, y0 float64, maxIter int) int {
+	x := 0.0
+	y := 0.0
+	n := 0
+	for x*x+y*y <= 4.0 && n < maxIter {
+		t := x*x - y*y + x0
+		y = 2.0*x*y + y0
+		x = t
+		n = n + 1
+	}
+	return n
+}
+
+func Mandelbrot(img []int, w, h, maxIter int) {
+	for p := 0; p < w*h; p++ {
+		x0 := float64(p%w)/float64(w)*3.0 - 2.0
+		y0 := float64(p/w)/float64(h)*2.0 - 1.0
+		img[p] = escape(x0, y0, maxIter)
+	}
+}
+
+func Main(img []int, w, h int) int {
+	Mandelbrot(img, w, h, 50)
+	c := 0
+	for i := 0; i < len(img); i++ {
+		c = (c*7 + img[i]) % 65521
+	}
+	return c
+}
+`
+
+// prefixSum: the textbook sequential recurrence — a pure negative.
+func prefixSum() *Program {
+	return &Program{
+		Name:        "prefixsum",
+		Description: "in-place prefix sum: loop-carried recurrence, not parallelizable as written",
+		Source: `package p
+
+func PrefixSum(a []int) {
+	for i := 1; i < len(a); i++ {
+		a[i] = a[i-1] + a[i]
+	}
+}
+
+func Main(a []int) int {
+	PrefixSum(a)
+	return a[len(a)-1]
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			next := lcg(13)
+			return []interp.Value{intSlice(m, 64, func(int) int64 { return next() % 97 })}
+		},
+		Truth: nil,
+	}
+}
+
+// monteCarlo: per-sample deterministic pseudo-random points with a
+// conditional hit counter — parallelizable (reduction), detected as a
+// pipeline whose counting stage stays sequential.
+func monteCarlo() *Program {
+	return &Program{
+		Name:        "montecarlo",
+		Description: "Monte-Carlo pi: independent samples, conditional count",
+		Source:      monteCarloSrc,
+		Entry:       "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			return []interp.Value{int64(300)}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "EstimatePi", LoopIdx: 0}, Kind: pattern.PipelineKind, Hot: true,
+				Note: "samples independent; the hit counter is a reduction / ordered tail stage"},
+		},
+	}
+}
+
+const monteCarloSrc = `package p
+
+func rnd(k int) float64 {
+	h := (k*26543 + 11) % 104729
+	if h < 0 {
+		h = -h
+	}
+	return float64(h%10000) / 10000.0
+}
+
+func EstimatePi(samples int) float64 {
+	hits := 0
+	for i := 0; i < samples; i++ {
+		x := rnd(i * 2)
+		y := rnd(i*2 + 1)
+		if x*x+y*y <= 1.0 {
+			hits = hits + 1
+		}
+	}
+	return 4.0 * float64(hits) / float64(samples)
+}
+
+func Main(samples int) float64 {
+	return EstimatePi(samples)
+}
+`
+
+// scatter: dst[perm[i]] = src[i]. Safe only if perm is a permutation,
+// which no sample input can prove. Ground truth: NOT parallelizable
+// (an engineer without knowledge of perm must refuse); optimistic
+// detection flags it — a by-design false positive.
+func scatter() *Program {
+	return &Program{
+		Name:        "scatter",
+		Description: "indirect scatter: optimism false positive (sample input hides potential aliasing)",
+		Source: `package p
+
+func Scatter(src, perm, dst []int) {
+	for i := 0; i < len(src); i++ {
+		dst[perm[i]] = src[i]
+	}
+}
+
+func Main(src, perm, dst []int) int {
+	Scatter(src, perm, dst)
+	return dst[0] + dst[len(dst)-1]
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			n := 50
+			return []interp.Value{
+				intSlice(m, n, func(i int) int64 { return int64(i * 3) }),
+				intSlice(m, n, func(i int) int64 { return int64((i * 7) % n) }),
+				intSlice(m, n, func(int) int64 { return 0 }),
+			}
+		},
+		Truth: nil,
+	}
+}
+
+// gatherUpdate: read-modify-write through an index vector — the same
+// optimism trap as scatter, with a RMW flavour.
+func gatherUpdate() *Program {
+	return &Program{
+		Name:        "gatherupdate",
+		Description: "indirect accumulate: optimism false positive (RMW through index vector)",
+		Source: `package p
+
+func GatherUpdate(acc, idx, w []int) {
+	for i := 0; i < len(idx); i++ {
+		acc[idx[i]] = acc[idx[i]] + w[i]
+	}
+}
+
+func Main(acc, idx, w []int) int {
+	GatherUpdate(acc, idx, w)
+	return acc[0] + acc[len(acc)/2]
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			n := 30
+			return []interp.Value{
+				intSlice(m, n, func(int) int64 { return 0 }),
+				intSlice(m, n, func(i int) int64 { return int64((i * 11) % n) }),
+				intSlice(m, n, func(i int) int64 { return int64(i % 9) }),
+			}
+		},
+		Truth: nil,
+	}
+}
+
+// anyMatch: early-exit search. A parallel implementation with
+// speculative cancellation is standard practice, so the ground truth
+// marks it parallelizable; PLCD rejects it — a by-design false
+// negative.
+func anyMatch() *Program {
+	return &Program{
+		Name:        "anymatch",
+		Description: "early-exit search: parallelizable speculatively (Patty FN via PLCD)",
+		Source: `package p
+
+func AnyNegative(a []int) int {
+	for i := 0; i < len(a); i++ {
+		if a[i] < 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+func Main(a []int) int {
+	return AnyNegative(a)
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			next := lcg(17)
+			return []interp.Value{intSlice(m, 80, func(int) int64 { return next()%101 - 2 })}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "AnyNegative", LoopIdx: 0}, Kind: pattern.MasterWorkerKind, Hot: true,
+				Note: "parallel search with cancellation; PLCD forbids the early exit"},
+		},
+	}
+}
+
+// compact: parallel filter (standard with per-worker buffers +
+// ordered concatenation); the single-statement conditional append
+// collapses to one stage — another by-design false negative.
+func compact() *Program {
+	return &Program{
+		Name:        "compact",
+		Description: "stream compaction: parallelizable filter (Patty FN, single merged stage)",
+		Source: `package p
+
+func Compact(a []int) []int {
+	out := []int{}
+	for i := 0; i < len(a); i++ {
+		if a[i] > 0 {
+			out = append(out, a[i])
+		}
+	}
+	return out
+}
+
+func Main(a []int) int {
+	return len(Compact(a))
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			next := lcg(19)
+			return []interp.Value{intSlice(m, 60, func(int) int64 { return next()%51 - 25 })}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Compact", LoopIdx: 0}, Kind: pattern.PipelineKind, Hot: true,
+				Note: "parallel filter with ordered merge; the conditional append absorbs the whole body"},
+		},
+	}
+}
+
+// nBody: force computation, integration and energy reduction are all
+// parallel; the outer time-step loop is inherently sequential.
+func nBody() *Program {
+	return &Program{
+		Name:        "nbody",
+		Description: "n-body simulation: parallel forces/integration/energy, sequential time steps",
+		Source:      nBodySrc,
+		Entry:       "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			n := 12
+			next := lcg(23)
+			rndF := func(int) float64 { return float64(next()%1000) / 1000.0 }
+			zero := func(int) float64 { return 0.0 }
+			return []interp.Value{
+				floatSlice(m, n, rndF), floatSlice(m, n, rndF),
+				floatSlice(m, n, zero), floatSlice(m, n, zero),
+				floatSlice(m, n, zero), floatSlice(m, n, zero),
+				int64(n), int64(3),
+			}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Forces", LoopIdx: 0}, Kind: pattern.DataParallelKind, Hot: true,
+				Note: "per-body force accumulation over all pairs"},
+			{Loc: Loc{Fn: "Integrate", LoopIdx: 0}, Kind: pattern.DataParallelKind,
+				Note: "per-body state update"},
+			{Loc: Loc{Fn: "Energy", LoopIdx: 0}, Kind: pattern.DataParallelKind,
+				Note: "kinetic energy reduction"},
+		},
+	}
+}
+
+const nBodySrc = `package p
+
+func Forces(px, py, fx, fy []float64, n int) {
+	for i := 0; i < n; i++ {
+		sx := 0.0
+		sy := 0.0
+		for j := 0; j < n; j++ {
+			dx := px[j] - px[i]
+			dy := py[j] - py[i]
+			d2 := dx*dx + dy*dy + 0.01
+			sx = sx + dx/d2
+			sy = sy + dy/d2
+		}
+		fx[i] = sx
+		fy[i] = sy
+	}
+}
+
+func Integrate(px, py, vx, vy, fx, fy []float64, n int, dt float64) {
+	for i := 0; i < n; i++ {
+		vx[i] = vx[i] + fx[i]*dt
+		vy[i] = vy[i] + fy[i]*dt
+		px[i] = px[i] + vx[i]*dt
+		py[i] = py[i] + vy[i]*dt
+	}
+}
+
+func Energy(vx, vy []float64, n int) float64 {
+	e := 0.0
+	for i := 0; i < n; i++ {
+		e = e + 0.5*(vx[i]*vx[i]+vy[i]*vy[i])
+	}
+	return e
+}
+
+func Main(px, py, vx, vy, fx, fy []float64, n, steps int) float64 {
+	for s := 0; s < steps; s++ {
+		Forces(px, py, fx, fy, n)
+		Integrate(px, py, vx, vy, fx, fy, n, 0.01)
+	}
+	return Energy(vx, vy, n)
+}
+`
+
+// smooth: a three-point stencil reading a constant input array —
+// independent iterations with affine neighbour reads.
+func smooth() *Program {
+	return &Program{
+		Name:        "smooth",
+		Description: "3-point stencil into a separate output: data-parallel",
+		Source: `package p
+
+func Smooth(in, out []float64, n int) {
+	for i := 1; i < n-1; i++ {
+		out[i] = (in[i-1] + in[i] + in[i+1]) * (1.0 / 3.0)
+	}
+}
+
+func Main(in, out []float64, n int) float64 {
+	Smooth(in, out, n)
+	return out[n/2]
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			n := 64
+			next := lcg(29)
+			return []interp.Value{
+				floatSlice(m, n, func(int) float64 { return float64(next()%500) / 100.0 }),
+				floatSlice(m, n, func(int) float64 { return 0.0 }),
+				int64(n),
+			}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Smooth", LoopIdx: 0}, Kind: pattern.DataParallelKind, Hot: true,
+				Note: "reads and writes are disjoint arrays; neighbour reads don't carry"},
+		},
+	}
+}
+
+// wordFreq: map-accumulating counting — contended map updates, left
+// sequential by both the expert and the detector.
+func wordFreq() *Program {
+	return &Program{
+		Name:        "wordfreq",
+		Description: "word frequency over a token stream: contended map updates (negative)",
+		Source: `package p
+
+func WordFreq(words []string, freq map[string]int) {
+	for i := 0; i < len(words); i++ {
+		freq[words[i]] = freq[words[i]] + 1
+	}
+}
+
+func Main(words []string) int {
+	freq := make(map[string]int)
+	WordFreq(words, freq)
+	return freq["alpha"]*100 + freq["omega"]
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			dict := []string{"alpha", "beta", "gamma", "delta", "omega"}
+			next := lcg(31)
+			return []interp.Value{intStrSlice(m, 70, func(int) string {
+				return dict[next()%int64(len(dict))]
+			})}
+		},
+		Truth: nil,
+	}
+}
+
+// intStrSlice builds a traced slice of strings.
+func intStrSlice(m *interp.Machine, n int, f func(i int) string) *interp.Slice {
+	vals := make([]interp.Value, n)
+	for i := range vals {
+		vals[i] = f(i)
+	}
+	return m.NewSlice(vals...)
+}
+
+// memsetDup: idempotent duplicate stores — semantically parallelizable
+// because the stores commute, but write-write dependences are observed
+// and the loop is rejected: a by-design false negative.
+func memsetDup() *Program {
+	return &Program{
+		Name:        "memsetdup",
+		Description: "idempotent duplicate stores: parallelizable, rejected on WW deps (Patty FN)",
+		Source: `package p
+
+func MarkMultiples(flags []int, n, step int) {
+	for i := 0; i < 2*n; i++ {
+		flags[(i*step)%n] = 1
+	}
+}
+
+func Main(flags []int, n int) int {
+	MarkMultiples(flags, n, 3)
+	c := 0
+	for i := 0; i < n; i++ {
+		c = c*2%1000003 + flags[i]
+	}
+	return c
+}
+`,
+		Entry: "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			n := 24
+			return []interp.Value{intSlice(m, n, func(int) int64 { return 0 }), int64(n)}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "MarkMultiples", LoopIdx: 0}, Kind: pattern.DataParallelKind, Hot: true,
+				Note: "idempotent stores commute; the detector cannot know that"},
+		},
+	}
+}
+
+// kMeans: per-point assignment is parallel (irregular nearest-centroid
+// search); the centroid update accumulates shared sums and stays
+// sequential, as does the outer iteration loop.
+func kMeans() *Program {
+	return &Program{
+		Name:        "kmeans",
+		Description: "k-means clustering: parallel assignment, sequential centroid update",
+		Source:      kMeansSrc,
+		Entry:       "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			n := 60
+			next := lcg(41)
+			return []interp.Value{
+				floatSlice(m, n, func(int) float64 { return float64(next()%1000) / 100.0 }),
+				floatSlice(m, n, func(int) float64 { return float64(next()%1000) / 100.0 }),
+				intSlice(m, n, func(int) int64 { return 0 }),
+				int64(n), int64(4), int64(3),
+			}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Assign", LoopIdx: 0}, Kind: pattern.MasterWorkerKind, Hot: true,
+				Note: "per-point nearest-centroid search; irregular inner work"},
+			{Loc: Loc{Fn: "Update", LoopIdx: 0}, Kind: pattern.DataParallelKind,
+				Note: "per-centroid accumulation over disjoint outputs"},
+			{Loc: Loc{Fn: "Main", LoopIdx: 0}, Kind: pattern.DataParallelKind,
+				Note: "centroid seeding is element-wise independent"},
+		},
+	}
+}
+
+const kMeansSrc = `package p
+
+func dist2(x1, y1, x2, y2 float64) float64 {
+	dx := x1 - x2
+	dy := y1 - y2
+	return dx*dx + dy*dy
+}
+
+func Assign(px, py []float64, label []int, cx, cy []float64, n, k int) {
+	for i := 0; i < n; i++ {
+		best := 0
+		bestD := dist2(px[i], py[i], cx[0], cy[0])
+		for c := 1; c < k; c++ {
+			if d := dist2(px[i], py[i], cx[c], cy[c]); d < bestD {
+				bestD = d
+				best = c
+			}
+		}
+		label[i] = best
+	}
+}
+
+func Update(px, py []float64, label []int, cx, cy []float64, n, k int) {
+	for c := 0; c < k; c++ {
+		sx := 0.0
+		sy := 0.0
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if label[i] == c {
+				sx = sx + px[i]
+				sy = sy + py[i]
+				cnt = cnt + 1
+			}
+		}
+		if cnt > 0 {
+			cx[c] = sx / float64(cnt)
+			cy[c] = sy / float64(cnt)
+		}
+	}
+}
+
+func Main(px, py []float64, label []int, n, k, rounds int) float64 {
+	cx := make([]float64, k)
+	cy := make([]float64, k)
+	for c := 0; c < k; c++ {
+		cx[c] = px[c]
+		cy[c] = py[c]
+	}
+	for r := 0; r < rounds; r++ {
+		Assign(px, py, label, cx, cy, n, k)
+		Update(px, py, label, cx, cy, n, k)
+	}
+	t := 0.0
+	for c := 0; c < k; c++ {
+		t = t*0.5 + cx[c] + cy[c]
+	}
+	return t
+}
+`
+
+// conv2D: a 3x3 convolution writing a separate output image — the
+// outer row loop is data-parallel with affine row indexing.
+func conv2D() *Program {
+	return &Program{
+		Name:        "conv2d",
+		Description: "3x3 image convolution into a separate output: row-parallel",
+		Source:      conv2DSrc,
+		Entry:       "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			w, h := 12, 10
+			next := lcg(43)
+			rows := func() *interp.Slice {
+				out := make([]interp.Value, h)
+				for y := 0; y < h; y++ {
+					out[y] = floatSlice(m, w, func(int) float64 { return float64(next()%256) / 256.0 })
+				}
+				return m.NewSlice(out...)
+			}
+			return []interp.Value{rows(), rows(), int64(w), int64(h)}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Conv", LoopIdx: 0}, Kind: pattern.DataParallelKind, Hot: true,
+				Note: "output rows are disjoint; the stencil reads the constant input"},
+		},
+	}
+}
+
+const conv2DSrc = `package p
+
+func Conv(in, out [][]float64, w, h int) {
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			s := in[y-1][x-1] + in[y-1][x] + in[y-1][x+1]
+			s = s + in[y][x-1] + in[y][x]*4.0 + in[y][x+1]
+			s = s + in[y+1][x-1] + in[y+1][x] + in[y+1][x+1]
+			out[y][x] = s / 12.0
+		}
+	}
+}
+
+func Main(in, out [][]float64, w, h int) float64 {
+	Conv(in, out, w, h)
+	t := 0.0
+	for y := 0; y < h; y++ {
+		t = t*0.9 + out[y][w/2]
+	}
+	return t
+}
+`

@@ -1,0 +1,260 @@
+package corpus
+
+import (
+	"patty/internal/interp"
+	"patty/internal/pattern"
+)
+
+// rayTrace reproduces the user study's benchmark program (paper §4.1:
+// "RayTracing ... 13 classes and 173 lines of code" with exactly three
+// locations that profit from parallelization, of which only one — the
+// hot render loop — is visible to a plain profiler).
+//
+// Negative loops a naive tool might flag: the closest-hit min search
+// (carried dependence on the running minimum), the clamped light
+// accumulation (non-associative update), the shadow probe (early
+// exit), exposure adaptation (IIR filter) and the scene-building
+// appends (ordered).
+func rayTrace() *Program {
+	return &Program{
+		Name: "raytrace",
+		Description: "study benchmark: 13 types, ~173 LoC, 3 parallelizable locations " +
+			"(hot pixel loop, light normalization, gamma pass)",
+		Source: rayTraceSrc,
+		Entry:  "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			return []interp.Value{int64(24), int64(16)}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Renderer.Render", LoopIdx: 0}, Kind: pattern.DataParallelKind, Hot: true,
+				Note: "per-pixel tracing is independent; the single profiler-visible hotspot"},
+			{Loc: Loc{Fn: "NormalizeLights", LoopIdx: 0}, Kind: pattern.DataParallelKind,
+				Note: "per-light scaling is independent but too cheap for a profiler to flag"},
+			{Loc: Loc{Fn: "ApplyGamma", LoopIdx: 0}, Kind: pattern.DataParallelKind,
+				Note: "per-pixel post-processing is independent but cheap"},
+		},
+	}
+}
+
+const rayTraceSrc = `package p
+
+type Vec struct {
+	X, Y, Z float64
+}
+
+type Color struct {
+	R, G, B float64
+}
+
+type Ray struct {
+	Orig, Dir Vec
+}
+
+type Material struct {
+	Col     Color
+	Diffuse float64
+}
+
+type Sphere struct {
+	Center Vec
+	Radius float64
+	Mat    Material
+}
+
+type Hit struct {
+	OK     int
+	T      float64
+	Point  Vec
+	Normal Vec
+	Mat    Material
+}
+
+type Light struct {
+	Pos       Vec
+	Intensity float64
+}
+
+type Camera struct {
+	Origin Vec
+	Scale  float64
+}
+
+type Image struct {
+	W, H int
+	Px   []float64
+}
+
+type Scene struct {
+	Spheres []Sphere
+	Lights  []Light
+	Ambient float64
+}
+
+type Renderer struct {
+	MaxDepth int
+}
+
+type Sample struct {
+	X, Y int
+}
+
+type Stats struct {
+	SphereCount int
+	LightCount  int
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0.0 {
+		return 0.0
+	}
+	g := x
+	for k := 0; k < 24; k++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+func vadd(a, b Vec) Vec { return Vec{X: a.X + b.X, Y: a.Y + b.Y, Z: a.Z + b.Z} }
+
+func vsub(a, b Vec) Vec { return Vec{X: a.X - b.X, Y: a.Y - b.Y, Z: a.Z - b.Z} }
+
+func vscale(a Vec, s float64) Vec { return Vec{X: a.X * s, Y: a.Y * s, Z: a.Z * s} }
+
+func vdot(a, b Vec) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+func vnorm(a Vec) Vec {
+	l := sqrtf(vdot(a, a))
+	if l == 0.0 {
+		return Vec{X: 0.0, Y: 0.0, Z: 1.0}
+	}
+	return vscale(a, 1.0/l)
+}
+
+func intersect(s Sphere, r Ray) Hit {
+	oc := vsub(r.Orig, s.Center)
+	b := 2.0 * vdot(oc, r.Dir)
+	c := vdot(oc, oc) - s.Radius*s.Radius
+	disc := b*b - 4.0*c
+	if disc < 0.0 {
+		return Hit{OK: 0, T: 0.0, Point: r.Orig, Normal: r.Dir, Mat: s.Mat}
+	}
+	t := (0.0 - b - sqrtf(disc)) * 0.5
+	if t < 0.001 {
+		return Hit{OK: 0, T: 0.0, Point: r.Orig, Normal: r.Dir, Mat: s.Mat}
+	}
+	p := vadd(r.Orig, vscale(r.Dir, t))
+	n := vnorm(vsub(p, s.Center))
+	return Hit{OK: 1, T: t, Point: p, Normal: n, Mat: s.Mat}
+}
+
+func closestHit(sc *Scene, r Ray) Hit {
+	best := Hit{OK: 0, T: 1000000.0, Point: r.Orig, Normal: r.Dir, Mat: Material{Col: Color{R: 0.0, G: 0.0, B: 0.0}, Diffuse: 0.0}}
+	for i := 0; i < len(sc.Spheres); i++ {
+		if h := intersect(sc.Spheres[i], r); h.OK == 1 && h.T < best.T {
+			best = h
+		}
+	}
+	return best
+}
+
+func clampAdd(e, d float64) float64 {
+	if e+d > 1.0 {
+		return 1.0
+	}
+	return e + d
+}
+
+func contribution(sc *Scene, p Vec, n Vec, i int) float64 {
+	toL := vsub(sc.Lights[i].Pos, p)
+	d := vdot(vnorm(toL), n)
+	if d < 0.0 {
+		return 0.0
+	}
+	probe := Ray{Orig: p, Dir: vnorm(toL)}
+	for j := 0; j < len(sc.Spheres); j++ {
+		if h := intersect(sc.Spheres[j], probe); h.OK == 1 {
+			return 0.0
+		}
+	}
+	return d * sc.Lights[i].Intensity
+}
+
+func lit(sc *Scene, p Vec, n Vec) float64 {
+	e := sc.Ambient
+	for i := 0; i < len(sc.Lights); i++ {
+		e = clampAdd(e, contribution(sc, p, n, i))
+	}
+	return e
+}
+
+func trace(sc *Scene, r Ray) Color {
+	h := closestHit(sc, r)
+	if h.OK == 0 {
+		return Color{R: 0.1, G: 0.1, B: 0.2}
+	}
+	e := lit(sc, h.Point, h.Normal)
+	return Color{R: h.Mat.Col.R * e, G: h.Mat.Col.G * e, B: h.Mat.Col.B * e}
+}
+
+func (cam *Camera) RayThrough(s Sample, w, h int) Ray {
+	fx := (float64(s.X)/float64(w) - 0.5) * cam.Scale
+	fy := (float64(s.Y)/float64(h) - 0.5) * cam.Scale
+	return Ray{Orig: cam.Origin, Dir: vnorm(Vec{X: fx, Y: fy, Z: 1.0})}
+}
+
+func (rd *Renderer) Render(sc *Scene, cam *Camera, img *Image) {
+	for p := 0; p < img.W*img.H; p++ {
+		s := Sample{X: p % img.W, Y: p / img.W}
+		ray := cam.RayThrough(s, img.W, img.H)
+		col := trace(sc, ray)
+		img.Px[p] = (col.R + col.G + col.B) / 3.0
+	}
+}
+
+func NormalizeLights(lights []Light, scale float64) {
+	for i := 0; i < len(lights); i++ {
+		lights[i].Intensity = lights[i].Intensity * scale
+	}
+}
+
+func ApplyGamma(img *Image) {
+	for i := 0; i < len(img.Px); i++ {
+		img.Px[i] = sqrtf(img.Px[i])
+	}
+}
+
+func AdaptExposure(img *Image) float64 {
+	e := 0.5
+	for i := 0; i < len(img.Px); i++ {
+		e = e*0.9 + img.Px[i]*0.1
+	}
+	return e
+}
+
+func BuildScene() *Scene {
+	sc := &Scene{Spheres: []Sphere{}, Lights: []Light{}, Ambient: 0.08}
+	for i := 0; i < 6; i++ {
+		sc.Spheres = append(sc.Spheres, Sphere{Center: Vec{X: float64(i%3)*0.3 - 0.3, Y: float64(i%2)*0.3 - 0.15, Z: 3.0 + float64(i)*0.9}, Radius: 0.8, Mat: Material{Col: Color{R: 0.2 + 0.1*float64(i), G: 0.9 - 0.1*float64(i), B: 0.5}, Diffuse: 0.8}})
+	}
+	for i := 0; i < 3; i++ {
+		sc.Lights = append(sc.Lights, Light{Pos: Vec{X: float64(i)*2.0 - 2.0, Y: 3.0, Z: 1.0}, Intensity: 0.6})
+	}
+	return sc
+}
+
+func SceneStats(sc *Scene) Stats {
+	return Stats{SphereCount: len(sc.Spheres), LightCount: len(sc.Lights)}
+}
+
+func Main(w, h int) float64 {
+	sc := BuildScene()
+	NormalizeLights(sc.Lights, 1.2)
+	cam := &Camera{Origin: Vec{X: 0.0, Y: 0.0, Z: 0.0}, Scale: 1.6}
+	img := &Image{W: w, H: h, Px: make([]float64, w*h)}
+	rd := &Renderer{MaxDepth: 1}
+	rd.Render(sc, cam, img)
+	ApplyGamma(img)
+	st := SceneStats(sc)
+	return AdaptExposure(img)*float64(st.SphereCount+st.LightCount) * 0.125
+}
+`

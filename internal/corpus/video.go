@@ -1,0 +1,100 @@
+package corpus
+
+import (
+	"patty/internal/interp"
+	"patty/internal/pattern"
+)
+
+// videoPipeline is the paper's running example (Fig. 3): a video
+// filter chain where crop, histogram and oil filters run per frame,
+// a converter combines them, and the result is appended to the output
+// stream in order. Filters are frame-granular (recursive mixing
+// kernels rather than pixel loops), so the program's one
+// parallelizable location is exactly the Fig. 3 pipeline.
+func videoPipeline() *Program {
+	return &Program{
+		Name:        "video",
+		Description: "paper Fig. 3: AviStream filter chain, the canonical pipeline",
+		Source:      videoSrc,
+		Entry:       "Main",
+		Args: func(m *interp.Machine) []interp.Value {
+			return []interp.Value{int64(24)}
+		},
+		Truth: []Truth{
+			{Loc: Loc{Fn: "Process", LoopIdx: 0}, Kind: pattern.PipelineKind, Hot: true,
+				Note: "the (crop || histo || oil) => conv => add pipeline of Fig. 3"},
+		},
+	}
+}
+
+const videoSrc = `package p
+
+type Image struct {
+	ID  int
+	Lum int
+	Chr int
+}
+
+type AviStream struct {
+	Images []Image
+}
+
+func (s *AviStream) Add(img Image) {
+	s.Images = append(s.Images, img)
+}
+
+func mix(x, rounds int) int {
+	if rounds == 0 {
+		if x < 0 {
+			return -x % 65536
+		}
+		return x % 65536
+	}
+	return mix((x*1103515245+12345)%2147483647, rounds-1)
+}
+
+func cropFilter(img Image) Image {
+	return Image{ID: img.ID, Lum: mix(img.Lum, 20), Chr: img.Chr}
+}
+
+func histogramFilter(img Image) Image {
+	return Image{ID: img.ID, Lum: img.Lum, Chr: mix(img.Chr, 24)}
+}
+
+func oilFilter(img Image) Image {
+	return Image{ID: img.ID, Lum: mix(img.Lum+img.Chr, 160), Chr: img.Chr}
+}
+
+func convTo32bpp(a, b, c Image) Image {
+	return Image{ID: a.ID, Lum: (a.Lum + c.Lum) / 2, Chr: (b.Chr + c.Chr) / 2}
+}
+
+func Process(aviIn *AviStream) *AviStream {
+	aviOut := &AviStream{Images: []Image{}}
+	for _, img := range aviIn.Images {
+		crop := cropFilter(img)
+		histo := histogramFilter(img)
+		oil := oilFilter(img)
+		res := convTo32bpp(crop, histo, oil)
+		aviOut.Add(res)
+	}
+	return aviOut
+}
+
+func checksum(s *AviStream) int {
+	c := 1
+	for i := 0; i < len(s.Images); i++ {
+		c = (c*31 + s.Images[i].Lum + s.Images[i].Chr) % 65521
+	}
+	return c
+}
+
+func Main(frames int) int {
+	in := &AviStream{Images: []Image{}}
+	for f := 0; f < frames; f++ {
+		in.Images = append(in.Images, Image{ID: f, Lum: (f*77 + 13) % 65536, Chr: (f*55 + 7) % 65536})
+	}
+	out := Process(in)
+	return checksum(out)
+}
+`

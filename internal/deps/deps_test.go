@@ -1,0 +1,513 @@
+package deps
+
+import (
+	"go/ast"
+	"testing"
+
+	"patty/internal/source"
+)
+
+func parseFn(t *testing.T, src, name string) (*source.Function, *Resolution) {
+	t.Helper()
+	p, err := source.ParseFile("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := p.Func(name)
+	if fn == nil {
+		t.Fatalf("function %s not found", name)
+	}
+	return fn, Resolve(fn)
+}
+
+func firstLoop(t *testing.T, fn *source.Function) ast.Stmt {
+	t.Helper()
+	loops := fn.Loops()
+	if len(loops) == 0 {
+		t.Fatal("no loops")
+	}
+	return loops[0]
+}
+
+func TestResolveShadowing(t *testing.T) {
+	fn, res := parseFn(t, `package p
+func F(x int) int {
+	y := x
+	{
+		y := 2
+		x = y
+	}
+	return y
+}`, "F")
+	// Collect all idents named y and verify two distinct symbols.
+	syms := make(map[*Symbol]bool)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "y" {
+			if s := res.SymbolOf(id); s != nil {
+				syms[s] = true
+			}
+		}
+		return true
+	})
+	if len(syms) != 2 {
+		t.Fatalf("expected 2 distinct y symbols, got %d", len(syms))
+	}
+}
+
+func TestResolveKinds(t *testing.T) {
+	_, res := parseFn(t, `package p
+var g int
+func F(a int) int {
+	l := a + g
+	return l
+}`, "F")
+	kinds := map[string]SymKind{}
+	for id, sym := range resUses(res) {
+		kinds[id.Name] = sym.Kind
+		_ = id
+	}
+	if kinds["a"] != ParamSym {
+		t.Errorf("a kind = %v", kinds["a"])
+	}
+	if kinds["g"] != GlobalSym {
+		t.Errorf("g kind = %v", kinds["g"])
+	}
+	if kinds["l"] != LocalSym {
+		t.Errorf("l kind = %v", kinds["l"])
+	}
+}
+
+// resUses exposes the internal map for tests.
+func resUses(r *Resolution) map[*ast.Ident]*Symbol { return r.uses }
+
+func TestResolveReceiver(t *testing.T) {
+	_, res := parseFn(t, `package p
+type T struct{ v int }
+func (t *T) M() int { return t.v }`, "T.M")
+	found := false
+	for _, sym := range resUses(res) {
+		if sym.Kind == ReceiverSym && sym.Name == "t" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("receiver symbol not resolved")
+	}
+}
+
+func TestRedeclarationReusesSymbol(t *testing.T) {
+	fn, res := parseFn(t, `package p
+func F() int {
+	a, err := 1, 2
+	b, err := 3, err
+	return a + b + err
+}`, "F")
+	errSyms := make(map[*Symbol]bool)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "err" {
+			if s := res.SymbolOf(id); s != nil {
+				errSyms[s] = true
+			}
+		}
+		return true
+	})
+	if len(errSyms) != 1 {
+		t.Fatalf("err should be a single symbol (Go redeclaration), got %d", len(errSyms))
+	}
+}
+
+func TestAccessesSimpleAssign(t *testing.T) {
+	fn, res := parseFn(t, `package p
+func F(a int) int {
+	b := a + 1
+	return b
+}`, "F")
+	accs := Accesses(res, fn.Stmt(0), nil)
+	var reads, writes []string
+	for _, ac := range accs {
+		if ac.Kind == ReadAccess {
+			reads = append(reads, ac.Sym.Name)
+		} else {
+			writes = append(writes, ac.Sym.Name)
+		}
+	}
+	if len(reads) != 1 || reads[0] != "a" {
+		t.Fatalf("reads = %v, want [a]", reads)
+	}
+	if len(writes) != 1 || writes[0] != "b" {
+		t.Fatalf("writes = %v, want [b]", writes)
+	}
+}
+
+func TestAccessesCompoundAssignReadsTarget(t *testing.T) {
+	fn, res := parseFn(t, `package p
+func F(a int) int {
+	a += 2
+	return a
+}`, "F")
+	accs := Accesses(res, fn.Stmt(0), nil)
+	var hasRead, hasWrite bool
+	for _, ac := range accs {
+		if ac.Sym.Name == "a" && ac.Kind == ReadAccess {
+			hasRead = true
+		}
+		if ac.Sym.Name == "a" && ac.Kind == WriteAccess {
+			hasWrite = true
+		}
+	}
+	if !hasRead || !hasWrite {
+		t.Fatalf("a += 2 should read and write a: %+v", accs)
+	}
+}
+
+func TestAccessesIndexAffine(t *testing.T) {
+	fn, res := parseFn(t, `package p
+func F(a []int, i int) {
+	a[i+1] = a[i] * 2
+}`, "F")
+	accs := Accesses(res, fn.Stmt(0), nil)
+	var w, r *Access
+	for j := range accs {
+		ac := &accs[j]
+		if ac.Sym.Name == "a" && ac.Kind == WriteAccess {
+			w = ac
+		}
+		if ac.Sym.Name == "a" && ac.Kind == ReadAccess && ac.Elem {
+			r = ac
+		}
+	}
+	if w == nil || w.Index == nil || !w.Index.Affine || w.Index.Offset != 1 {
+		t.Fatalf("write access = %+v, want affine offset 1", w)
+	}
+	if r == nil || r.Index == nil || !r.Index.Affine || r.Index.Offset != 0 {
+		t.Fatalf("read access = %+v, want affine offset 0", r)
+	}
+}
+
+func TestAccessesFieldPaths(t *testing.T) {
+	fn, res := parseFn(t, `package p
+type T struct{ A, B int }
+func F(t *T) {
+	t.A = t.B
+}`, "F")
+	accs := Accesses(res, fn.Stmt(0), nil)
+	var wField, rField string
+	for _, ac := range accs {
+		if ac.Kind == WriteAccess {
+			wField = ac.Field
+		} else if ac.Elem {
+			rField = ac.Field
+		}
+	}
+	if wField != "A" || rField != "B" {
+		t.Fatalf("fields: write %q read %q", wField, rField)
+	}
+	if fieldsOverlap(Access{Field: "A"}, Access{Field: "B"}) {
+		t.Fatal("disjoint fields must not overlap")
+	}
+	if !fieldsOverlap(Access{Field: "A"}, Access{Field: ""}) {
+		t.Fatal("whole-variable access overlaps any field")
+	}
+	if !fieldsOverlap(Access{Field: "A.B"}, Access{Field: "A"}) {
+		t.Fatal("prefix paths overlap")
+	}
+	if fieldsOverlap(Access{Field: "A.B"}, Access{Field: "AB"}) {
+		t.Fatal("A.B does not overlap AB")
+	}
+}
+
+func TestLoopIndependentIterations(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a, b []int, n int) {
+	for i := 0; i < n; i++ {
+		b[i] = a[i] * 2
+	}
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if li.IndexVar == nil || li.IndexVar.Name != "i" {
+		t.Fatalf("IndexVar = %v", li.IndexVar)
+	}
+	if len(li.CarriedDeps()) != 0 {
+		t.Fatalf("independent loop has carried deps: %+v", li.CarriedDeps())
+	}
+	if len(li.Control) != 0 {
+		t.Fatalf("unexpected control statements: %v", li.Control)
+	}
+}
+
+func TestLoopCarriedAffineDistance(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a []int, n int) {
+	for i := 1; i < n; i++ {
+		a[i] = a[i-1] + 1
+	}
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	cds := li.CarriedDeps()
+	if len(cds) == 0 {
+		t.Fatal("a[i] = a[i-1] must be loop-carried")
+	}
+	if cds[0].Distance != 1 {
+		t.Fatalf("distance = %d, want 1", cds[0].Distance)
+	}
+}
+
+func TestLoopReductionRecognized(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a []int) int {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		s += a[i]
+	}
+	return s
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if len(li.Reductions) != 1 || li.Reductions[0].Sym.Name != "s" {
+		t.Fatalf("Reductions = %+v", li.Reductions)
+	}
+	if len(li.CarriedDeps()) != 0 {
+		t.Fatalf("reduction should not leave carried deps: %+v", li.CarriedDeps())
+	}
+	if len(li.WritesOutside) != 0 {
+		t.Fatalf("reduction target should not count as side effect: %v", li.WritesOutside)
+	}
+}
+
+func TestLoopReductionLongForm(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a []int) int {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		s = s + a[i]
+	}
+	return s
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if len(li.Reductions) != 1 {
+		t.Fatalf("long-form reduction not recognized: %+v", li.Reductions)
+	}
+}
+
+func TestLoopAccumulatorUsedElsewhereNotReduction(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a []int) int {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		s += a[i]
+		a[i] = s
+	}
+	return s
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if len(li.Reductions) != 0 {
+		t.Fatalf("accumulator read elsewhere must not be a reduction: %+v", li.Reductions)
+	}
+	if len(li.CarriedDeps()) == 0 {
+		t.Fatal("expected carried dependence through s")
+	}
+}
+
+func TestLoopIterationLocalNotCarried(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a, b []int, n int) {
+	for i := 0; i < n; i++ {
+		tmp := a[i] * 2
+		b[i] = tmp + 1
+	}
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if len(li.CarriedDeps()) != 0 {
+		t.Fatalf("iteration-local tmp must not carry: %+v", li.CarriedDeps())
+	}
+	// But it must appear as an intra-iteration stream flow.
+	flows := li.StreamFlows()
+	found := false
+	for _, f := range flows {
+		if f.Sym.Name == "tmp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tmp def-use should be a stream flow: %+v", flows)
+	}
+}
+
+func TestLoopRangeValueVarIsLocal(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(xs []int) int {
+	out := 0
+	for _, x := range xs {
+		x = x * 2
+		out += x
+	}
+	return out
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	for _, d := range li.CarriedDeps() {
+		if d.Sym.Name == "x" {
+			t.Fatalf("range value var carried: %+v", d)
+		}
+	}
+}
+
+func TestLoopControlStatements(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a []int) int {
+	for i := 0; i < len(a); i++ {
+		if a[i] < 0 {
+			return i
+		}
+		if a[i] == 0 {
+			break
+		}
+	}
+	return -1
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if len(li.Control) != 2 {
+		t.Fatalf("Control = %v, want return and break", li.Control)
+	}
+}
+
+func TestLoopContinueAllowed(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		if a[i] < 0 {
+			continue
+		}
+		b[i] = a[i]
+	}
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if len(li.Control) != 0 {
+		t.Fatalf("continue must not count as stream-breaking control: %v", li.Control)
+	}
+}
+
+func TestNestedLoopBreakDoesNotCount(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a [][]int) int {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		for j := 0; j < len(a[i]); j++ {
+			if a[i][j] == 0 {
+				break
+			}
+			s++
+		}
+	}
+	return s
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if len(li.Control) != 0 {
+		t.Fatalf("inner-loop break should not flag the outer loop: %v", li.Control)
+	}
+}
+
+func TestLoopWritesOutside(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(a []int, out []int) {
+	last := 0
+	for i := 0; i < len(a); i++ {
+		out[i] = a[i]
+		last = a[i]
+	}
+	_ = last
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	names := map[string]bool{}
+	for _, s := range li.WritesOutside {
+		names[s.Name] = true
+	}
+	if !names["out"] || !names["last"] {
+		t.Fatalf("WritesOutside = %v, want out and last", li.WritesOutside)
+	}
+}
+
+func TestRangeLoopOverContainer(t *testing.T) {
+	fn, _ := parseFn(t, `package p
+func F(xs []int) []int {
+	out := make([]int, 0)
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}`, "F")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	if li.RangeOver == nil || li.RangeOver.Name != "xs" {
+		t.Fatalf("RangeOver = %v", li.RangeOver)
+	}
+	// out = append(out, ...) is a carried dependence (ordered append).
+	found := false
+	for _, d := range li.CarriedDeps() {
+		if d.Sym.Name == "out" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("append accumulation must be carried: %+v", li.Deps)
+	}
+}
+
+func TestPipelineShapeFlows(t *testing.T) {
+	// The paper's video pipeline shape: independent filter stages
+	// feeding a combiner, then an ordered append.
+	fn, _ := parseFn(t, `package p
+func Process(in []int, out []int) []int {
+	res := make([]int, 0)
+	for _, img := range in {
+		c := img * 2
+		h := img + 3
+		o := img - 1
+		r := c + h + o
+		res = append(res, r)
+	}
+	return res
+}`, "Process")
+	li := AnalyzeLoop(fn, firstLoop(t, fn), nil)
+	flows := li.StreamFlows()
+	// c,h,o each flow into r's statement; r flows into append.
+	into := map[string]bool{}
+	for _, f := range flows {
+		into[f.Sym.Name] = true
+	}
+	for _, want := range []string{"c", "h", "o", "r"} {
+		if !into[want] {
+			t.Errorf("missing stream flow through %s: %+v", want, flows)
+		}
+	}
+	// Only the append stage carries a dependence.
+	for _, d := range li.CarriedDeps() {
+		if d.Sym.Name != "res" {
+			t.Errorf("unexpected carried dep: %+v", d)
+		}
+	}
+}
+
+func TestDepKindStrings(t *testing.T) {
+	if FlowDep.String() != "flow" || AntiDep.String() != "anti" || OutputDep.String() != "output" {
+		t.Fatal("DepKind names wrong")
+	}
+	if DepKind(9).String() != "dep(9)" {
+		t.Fatal("unknown DepKind name wrong")
+	}
+	if ReadAccess.String() != "read" || WriteAccess.String() != "write" {
+		t.Fatal("AccessKind names wrong")
+	}
+	for k, want := range map[SymKind]string{LocalSym: "local", ParamSym: "param", ReceiverSym: "recv", GlobalSym: "global", FuncSym: "func"} {
+		if k.String() != want {
+			t.Fatalf("SymKind %d = %q", int(k), k.String())
+		}
+	}
+	if SymKind(9).String() != "sym(9)" {
+		t.Fatal("unknown SymKind name wrong")
+	}
+}
+
+func TestReadWriteSetHelpers(t *testing.T) {
+	accs := []Access{{Kind: ReadAccess}, {Kind: WriteAccess}, {Kind: ReadAccess}}
+	if len(ReadSet(accs)) != 2 || len(WriteSet(accs)) != 1 {
+		t.Fatal("set helpers wrong")
+	}
+}

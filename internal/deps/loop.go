@@ -1,0 +1,496 @@
+package deps
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"patty/internal/source"
+)
+
+// DepKind classifies a dependence edge.
+type DepKind int
+
+const (
+	// FlowDep is a true (read-after-write) dependence.
+	FlowDep DepKind = iota
+	// AntiDep is a write-after-read dependence.
+	AntiDep
+	// OutputDep is a write-after-write dependence.
+	OutputDep
+)
+
+// String returns the classic dependence-kind name.
+func (k DepKind) String() string {
+	switch k {
+	case FlowDep:
+		return "flow"
+	case AntiDep:
+		return "anti"
+	case OutputDep:
+		return "output"
+	default:
+		return fmt.Sprintf("dep(%d)", int(k))
+	}
+}
+
+// Dep is one dependence between two top-level loop-body statements,
+// identified by their function-local statement ids.
+type Dep struct {
+	From, To int // statement ids (From's access precedes To's)
+	Sym      *Symbol
+	Field    string
+	Kind     DepKind
+	// Carried marks a loop-carried dependence (across iterations);
+	// un-carried (intra-iteration) flow deps define the pipeline data
+	// stream (PLDS).
+	Carried bool
+	// Distance is the iteration distance for affine subscripts
+	// (0 for scalar/unknown carried deps).
+	Distance int
+	// Reason explains the classification for reports.
+	Reason string
+}
+
+// Reduction is a recognized reduction idiom: acc op= f(...) on a
+// scalar that the loop touches nowhere else. Reductions do not inhibit
+// data-parallel execution because the runtime provides a combining
+// implementation.
+type Reduction struct {
+	StmtID int
+	Sym    *Symbol
+	Op     token.Token // ADD_ASSIGN, MUL_ASSIGN, ...
+}
+
+// LoopInfo is the dependence summary of one loop, the input to the
+// pattern detectors.
+type LoopInfo struct {
+	Fn   *source.Function
+	Loop ast.Stmt
+	// LoopID is the statement id of the loop itself.
+	LoopID int
+	// IndexVar is the induction variable (for i := 0; ...) or range
+	// key; nil when not recognizable.
+	IndexVar *Symbol
+	// ValueVar is the range value variable, if any.
+	ValueVar *Symbol
+	// RangeOver is the container a range loop iterates, if resolvable.
+	RangeOver *Symbol
+	// Body lists the loop body's top-level statement ids in order.
+	Body []int
+	// Accesses maps each top-level body statement id to its
+	// aggregated access set.
+	Accesses map[int][]Access
+	// Deps holds every dependence between top-level body statements.
+	Deps []Dep
+	// Reductions lists recognized reduction statements.
+	Reductions []Reduction
+	// Control lists break/return statements inside the body (ids);
+	// PLCD forbids converting loops whose iterations can stop the
+	// stream for other elements.
+	Control []int
+	// ContinueAt lists the top-level body statement ids whose subtree
+	// contains a continue targeting this loop. continue is permitted
+	// (it only short-circuits its own element), but everything after
+	// such a statement is control-dependent on it, which constrains
+	// pipeline stage splitting.
+	ContinueAt []int
+	// WritesOutside lists symbols declared outside the loop that the
+	// body writes (excluding the index variable and reductions) —
+	// the loop's side effects.
+	WritesOutside []*Symbol
+}
+
+// AnalyzeLoop computes the dependence summary of the given loop
+// statement within fn. oracle may be nil (optimistic call effects).
+func AnalyzeLoop(fn *source.Function, loop ast.Stmt, oracle EffectOracle) *LoopInfo {
+	res := Resolve(fn)
+	return AnalyzeLoopResolved(fn, loop, res, oracle)
+}
+
+// AnalyzeLoopResolved is AnalyzeLoop with a pre-computed resolution,
+// so callers analyzing many loops share one resolver pass.
+func AnalyzeLoopResolved(fn *source.Function, loop ast.Stmt, res *Resolution, oracle EffectOracle) *LoopInfo {
+	li := &LoopInfo{
+		Fn:       fn,
+		Loop:     loop,
+		LoopID:   fn.StmtID(loop),
+		Accesses: make(map[int][]Access),
+	}
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+		li.IndexVar = forIndexVar(l, res)
+	case *ast.RangeStmt:
+		body = l.Body
+		if id, ok := l.Key.(*ast.Ident); ok {
+			li.IndexVar = res.SymbolOf(id)
+		}
+		if id, ok := l.Value.(*ast.Ident); ok {
+			li.ValueVar = res.SymbolOf(id)
+		}
+		if id, ok := unwrapIdent(l.X); ok {
+			li.RangeOver = res.SymbolOf(id)
+		} else if sel, ok := l.X.(*ast.SelectorExpr); ok {
+			if base, _, ok2 := selectorPath(sel); ok2 {
+				li.RangeOver = res.SymbolOf(base)
+			}
+		}
+	default:
+		return li
+	}
+
+	for _, s := range body.List {
+		id := fn.StmtID(s)
+		li.Body = append(li.Body, id)
+		li.Accesses[id] = Accesses(res, s, oracle)
+	}
+
+	// Control statements that leave the loop (PLCD): break and return
+	// anywhere inside the body. continue only short-circuits the
+	// current element and is permitted.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.BranchStmt:
+			if st.Tok == token.BREAK {
+				li.Control = append(li.Control, fn.StmtID(st))
+			}
+		case *ast.ReturnStmt:
+			li.Control = append(li.Control, fn.StmtID(st))
+		case *ast.ForStmt, *ast.RangeStmt:
+			// break inside a nested loop targets that loop; skip its
+			// subtree for break collection but still record returns.
+			inner := n.(ast.Stmt)
+			ast.Inspect(loopBody(inner), func(m ast.Node) bool {
+				if rs, ok := m.(*ast.ReturnStmt); ok {
+					li.Control = append(li.Control, fn.StmtID(rs))
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+
+	// Top-level statements containing a continue for this loop.
+	for _, s := range body.List {
+		id := fn.StmtID(s)
+		hasCont := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.BranchStmt:
+				if st.Tok == token.CONTINUE {
+					hasCont = true
+				}
+			case *ast.ForStmt, *ast.RangeStmt:
+				return false // continue inside targets the inner loop
+			}
+			return !hasCont
+		})
+		if hasCont {
+			li.ContinueAt = append(li.ContinueAt, id)
+		}
+	}
+
+	li.findReductions(res)
+	li.computeDeps(res)
+	li.computeWritesOutside(res)
+	return li
+}
+
+func loopBody(s ast.Stmt) *ast.BlockStmt {
+	switch l := s.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// forIndexVar recognizes the canonical for i := lo; i < hi; i++ shape.
+func forIndexVar(l *ast.ForStmt, res *Resolution) *Symbol {
+	assign, ok := l.Init.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 {
+		return nil
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return res.SymbolOf(id)
+}
+
+// isIterationLocal reports whether sym is private to one iteration:
+// declared inside the loop body, or the range value/key variable.
+func (li *LoopInfo) isIterationLocal(sym *Symbol, res *Resolution) bool {
+	if sym == li.ValueVar && sym != nil {
+		return true
+	}
+	if sym.Kind != LocalSym {
+		return false
+	}
+	decl := res.DeclStmt(sym)
+	if decl == nil {
+		return false
+	}
+	// Declared within the loop body?
+	return decl.Pos() >= li.Loop.Pos() && decl.End() <= li.Loop.End()
+}
+
+// findReductions recognizes acc += f(...) / acc = acc + f(...) where
+// acc is an outer scalar accessed nowhere else in the body.
+func (li *LoopInfo) findReductions(res *Resolution) {
+	counts := make(map[*Symbol]int)
+	for _, id := range li.Body {
+		for _, a := range li.Accesses[id] {
+			counts[a.Sym]++
+		}
+	}
+	// An accumulator read by the loop header (condition/post) is not a
+	// reduction: its intermediate values steer control flow.
+	switch l := li.Loop.(type) {
+	case *ast.ForStmt:
+		for _, e := range []ast.Node{l.Cond, l.Post} {
+			if e == nil {
+				continue
+			}
+			ast.Inspect(e, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if sym := res.SymbolOf(id); sym != nil {
+						counts[sym] += 2
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, id := range li.Body {
+		s := li.Fn.Stmt(id)
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			continue
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		sym := res.SymbolOf(lhs)
+		if sym == nil || li.isIterationLocal(sym, res) {
+			continue
+		}
+		var op token.Token
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			op = as.Tok
+		case token.ASSIGN:
+			// acc = acc + expr
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok {
+				continue
+			}
+			l, ok := bin.X.(*ast.Ident)
+			if !ok || res.SymbolOf(l) != sym {
+				continue
+			}
+			switch bin.Op {
+			case token.ADD, token.MUL, token.OR, token.AND, token.XOR:
+				op = bin.Op
+			default:
+				continue
+			}
+		default:
+			continue
+		}
+		// The accumulator must be untouched by other body statements:
+		// its only accesses are this statement's read+write pair.
+		if counts[sym] > 2 {
+			continue
+		}
+		// The RHS must not read the accumulator beyond the idiom.
+		li.Reductions = append(li.Reductions, Reduction{StmtID: id, Sym: sym, Op: op})
+	}
+}
+
+func (li *LoopInfo) isReductionStmt(id int) bool {
+	for _, r := range li.Reductions {
+		if r.StmtID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// computeDeps builds intra-iteration flow deps (the pipeline stream,
+// PLDS) and loop-carried deps (PLDD) between top-level statements.
+func (li *LoopInfo) computeDeps(res *Resolution) {
+	type accRef struct {
+		stmt int
+		acc  Access
+	}
+	var all []accRef
+	for _, id := range li.Body {
+		for _, a := range li.Accesses[id] {
+			if a.Sym == nil || a.Sym == li.IndexVar {
+				continue
+			}
+			all = append(all, accRef{id, a})
+		}
+	}
+
+	addDep := func(d Dep) {
+		for _, e := range li.Deps {
+			if e.From == d.From && e.To == d.To && e.Sym == d.Sym &&
+				e.Kind == d.Kind && e.Carried == d.Carried && e.Field == d.Field {
+				return
+			}
+		}
+		li.Deps = append(li.Deps, d)
+	}
+
+	pos := func(id int) int {
+		for i, b := range li.Body {
+			if b == id {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for _, w := range all {
+		if w.acc.Kind != WriteAccess {
+			continue
+		}
+		for _, o := range all {
+			// Note: a write deliberately pairs with itself — the same
+			// textual access in two different iterations is a carried
+			// dependence unless the subscripts provably differ
+			// (carriedBetween decides).
+			if w.acc.Sym != o.acc.Sym {
+				continue
+			}
+			if !fieldsOverlap(w.acc, o.acc) {
+				continue
+			}
+			iterLocal := li.isIterationLocal(w.acc.Sym, res)
+			// Intra-iteration dependence: write in an earlier
+			// statement reaches a read in a later one. These define
+			// the stage data stream.
+			if o.acc.Kind == ReadAccess && pos(w.stmt) < pos(o.stmt) {
+				addDep(Dep{From: w.stmt, To: o.stmt, Sym: w.acc.Sym, Field: w.acc.Field,
+					Kind: FlowDep, Carried: false, Reason: "intra-iteration def-use"})
+			}
+			if iterLocal {
+				continue // iteration-private: never carried
+			}
+			// Loop-carried analysis.
+			carried, dist, reason := li.carriedBetween(w.acc, o.acc)
+			if !carried {
+				continue
+			}
+			if li.isReductionStmt(w.stmt) && w.stmt == o.stmt {
+				continue // the reduction RMW pair is handled by the runtime
+			}
+			kind := OutputDep
+			switch {
+			case o.acc.Kind == ReadAccess:
+				kind = FlowDep
+			case w.acc.Kind == WriteAccess && o.acc.Kind == WriteAccess:
+				kind = OutputDep
+			}
+			from, to := w.stmt, o.stmt
+			if pos(to) < pos(from) {
+				from, to = to, from
+			}
+			d := Dep{From: from, To: to, Sym: w.acc.Sym, Field: w.acc.Field,
+				Kind: kind, Carried: true, Distance: dist, Reason: reason}
+			if o.acc.Kind == ReadAccess && pos(o.stmt) < pos(w.stmt) {
+				d.Kind = FlowDep // read in later iteration textually before write: accumulator shape
+			}
+			addDep(d)
+		}
+	}
+}
+
+// carriedBetween decides whether a write/access pair on the same
+// symbol is loop-carried.
+func (li *LoopInfo) carriedBetween(w, o Access) (bool, int, string) {
+	// Affine subscripts on the induction variable: carried iff the
+	// offsets differ; distance is the offset gap.
+	if w.Index != nil && o.Index != nil && w.Index.Affine && o.Index.Affine &&
+		w.Index.Var != nil && w.Index.Var == o.Index.Var && w.Index.Var == li.IndexVar {
+		if w.Index.Offset == o.Index.Offset {
+			return false, 0, ""
+		}
+		d := o.Index.Offset - w.Index.Offset
+		if d < 0 {
+			d = -d
+		}
+		return true, d, fmt.Sprintf("affine subscript distance %d on %s", d, w.Sym.Name)
+	}
+	// Element access with unknown subscript, or whole-variable access
+	// on an outer symbol: conservatively carried. The dynamic profiler
+	// refines this (optimistic analyses may then clear it).
+	if w.Elem || o.Elem {
+		return true, 0, fmt.Sprintf("unanalyzable element access on %s", w.Sym.Name)
+	}
+	return true, 0, fmt.Sprintf("scalar %s is shared across iterations", w.Sym.Name)
+}
+
+func samePlace(a, b Access) bool {
+	return a.Pos == b.Pos
+}
+
+// fieldsOverlap reports whether two accesses can touch the same
+// memory: equal field paths, or either side a whole-variable access.
+func fieldsOverlap(a, b Access) bool {
+	if a.Field == "" || b.Field == "" {
+		return true
+	}
+	return a.Field == b.Field ||
+		len(a.Field) < len(b.Field) && b.Field[:len(a.Field)+1] == a.Field+"." ||
+		len(b.Field) < len(a.Field) && a.Field[:len(b.Field)+1] == b.Field+"."
+}
+
+// computeWritesOutside collects side-effect targets of the loop.
+func (li *LoopInfo) computeWritesOutside(res *Resolution) {
+	seen := make(map[*Symbol]bool)
+	for _, id := range li.Body {
+		for _, a := range li.Accesses[id] {
+			if a.Kind != WriteAccess || a.Sym == nil {
+				continue
+			}
+			if a.Sym == li.IndexVar || li.isIterationLocal(a.Sym, res) || seen[a.Sym] {
+				continue
+			}
+			if li.isReductionStmt(id) {
+				continue
+			}
+			seen[a.Sym] = true
+			li.WritesOutside = append(li.WritesOutside, a.Sym)
+		}
+	}
+}
+
+// CarriedDeps returns only the loop-carried dependences.
+func (li *LoopInfo) CarriedDeps() []Dep {
+	var out []Dep
+	for _, d := range li.Deps {
+		if d.Carried {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// StreamFlows returns the intra-iteration flow dependences (PLDS).
+func (li *LoopInfo) StreamFlows() []Dep {
+	var out []Dep
+	for _, d := range li.Deps {
+		if !d.Carried && d.Kind == FlowDep {
+			out = append(out, d)
+		}
+	}
+	return out
+}

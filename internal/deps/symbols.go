@@ -1,0 +1,382 @@
+// Package deps implements Patty's static data-dependence analysis:
+// lexical symbol resolution, per-statement read/write sets, def-use
+// flows and loop-carried dependence detection (including affine array
+// index distances and reduction idioms).
+//
+// Together with the CFG, the call graph and the dynamic profile this
+// forms the semantic model of paper §2.1. The analysis is *optimistic*
+// in the paper's sense: calls without an intra-program summary are
+// assumed side-effect free, and non-affine subscripts are left to the
+// dynamic dependence profiler to confirm or refute.
+package deps
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"patty/internal/source"
+)
+
+// SymKind classifies resolved symbols.
+type SymKind int
+
+const (
+	// LocalSym is a function-local variable.
+	LocalSym SymKind = iota
+	// ParamSym is a parameter or named result.
+	ParamSym
+	// ReceiverSym is a method receiver.
+	ReceiverSym
+	// GlobalSym is a package-level variable.
+	GlobalSym
+	// FuncSym is a declared function or method name.
+	FuncSym
+)
+
+// String returns a short kind name.
+func (k SymKind) String() string {
+	switch k {
+	case LocalSym:
+		return "local"
+	case ParamSym:
+		return "param"
+	case ReceiverSym:
+		return "recv"
+	case GlobalSym:
+		return "global"
+	case FuncSym:
+		return "func"
+	default:
+		return fmt.Sprintf("sym(%d)", int(k))
+	}
+}
+
+// Symbol is one resolved variable (or function) identity. Two idents
+// denote the same variable iff they resolve to the same *Symbol.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	// Decl is the declaring position, distinguishing shadowed names.
+	Decl token.Pos
+}
+
+func (s *Symbol) String() string { return s.Name }
+
+// Resolution maps every identifier in a function to its symbol.
+type Resolution struct {
+	Fn   *source.Function
+	uses map[*ast.Ident]*Symbol
+	// DeclScope records, for locals, the statement that declared them
+	// (nil for params/receivers/globals); loop analysis uses it to
+	// decide iteration-privacy.
+	declStmt map[*Symbol]ast.Stmt
+}
+
+// SymbolOf returns the symbol an identifier resolves to, or nil for
+// identifiers that are not variables of the analyzed program (types,
+// package names, imported functions, field names in selectors).
+func (r *Resolution) SymbolOf(id *ast.Ident) *Symbol { return r.uses[id] }
+
+// DeclStmt returns the statement that declared sym (nil for
+// non-locals).
+func (r *Resolution) DeclStmt(sym *Symbol) ast.Stmt { return r.declStmt[sym] }
+
+// scope is one lexical scope level.
+type scope struct {
+	parent *scope
+	names  map[string]*Symbol
+}
+
+func (s *scope) lookup(name string) *Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) define(sym *Symbol) { s.names[sym.Name] = sym }
+
+// resolver walks the AST maintaining the scope stack.
+type resolver struct {
+	res     *Resolution
+	globals *scope
+	curStmt ast.Stmt
+}
+
+// Resolve computes the symbol resolution of fn within its program.
+// Package-level variables and function names of the whole program are
+// visible as globals.
+func Resolve(fn *source.Function) *Resolution {
+	res := &Resolution{
+		Fn:       fn,
+		uses:     make(map[*ast.Ident]*Symbol),
+		declStmt: make(map[*Symbol]ast.Stmt),
+	}
+	r := &resolver{res: res}
+	r.globals = &scope{names: make(map[string]*Symbol)}
+	for _, file := range fn.Prog.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						r.globals.define(&Symbol{Name: name.Name, Kind: GlobalSym, Decl: name.Pos()})
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					r.globals.define(&Symbol{Name: d.Name.Name, Kind: FuncSym, Decl: d.Name.Pos()})
+				}
+			}
+		}
+	}
+
+	fnScope := &scope{parent: r.globals, names: make(map[string]*Symbol)}
+	if fn.Decl.Recv != nil {
+		for _, f := range fn.Decl.Recv.List {
+			for _, name := range f.Names {
+				sym := &Symbol{Name: name.Name, Kind: ReceiverSym, Decl: name.Pos()}
+				fnScope.define(sym)
+				res.uses[name] = sym
+			}
+		}
+	}
+	if fn.Decl.Type.Params != nil {
+		for _, f := range fn.Decl.Type.Params.List {
+			for _, name := range f.Names {
+				sym := &Symbol{Name: name.Name, Kind: ParamSym, Decl: name.Pos()}
+				fnScope.define(sym)
+				res.uses[name] = sym
+			}
+		}
+	}
+	if fn.Decl.Type.Results != nil {
+		for _, f := range fn.Decl.Type.Results.List {
+			for _, name := range f.Names {
+				sym := &Symbol{Name: name.Name, Kind: ParamSym, Decl: name.Pos()}
+				fnScope.define(sym)
+				res.uses[name] = sym
+			}
+		}
+	}
+	r.block(fn.Decl.Body, fnScope)
+	return res
+}
+
+// block resolves a statement block in a fresh child scope.
+func (r *resolver) block(b *ast.BlockStmt, parent *scope) {
+	sc := &scope{parent: parent, names: make(map[string]*Symbol)}
+	for _, s := range b.List {
+		r.stmt(s, sc)
+	}
+}
+
+func (r *resolver) stmt(s ast.Stmt, sc *scope) {
+	prev := r.curStmt
+	r.curStmt = s
+	defer func() { r.curStmt = prev }()
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		r.block(st, sc)
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				r.expr(v, sc)
+			}
+			for _, name := range vs.Names {
+				r.define(name, sc)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			r.expr(rhs, sc)
+		}
+		for _, lhs := range st.Lhs {
+			if st.Tok == token.DEFINE {
+				if id, ok := lhs.(*ast.Ident); ok {
+					// Go redeclaration rule: := reuses a variable
+					// already declared in the same scope.
+					if sym, exists := sc.names[id.Name]; exists {
+						r.res.uses[id] = sym
+						continue
+					}
+					r.define(id, sc)
+					continue
+				}
+			}
+			r.expr(lhs, sc)
+		}
+	case *ast.ExprStmt:
+		r.expr(st.X, sc)
+	case *ast.IncDecStmt:
+		r.expr(st.X, sc)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			r.expr(e, sc)
+		}
+	case *ast.IfStmt:
+		inner := &scope{parent: sc, names: make(map[string]*Symbol)}
+		if st.Init != nil {
+			r.stmt(st.Init, inner)
+		}
+		r.expr(st.Cond, inner)
+		r.block(st.Body, inner)
+		if st.Else != nil {
+			r.stmt(st.Else, inner)
+		}
+	case *ast.ForStmt:
+		inner := &scope{parent: sc, names: make(map[string]*Symbol)}
+		if st.Init != nil {
+			r.stmt(st.Init, inner)
+		}
+		if st.Cond != nil {
+			r.expr(st.Cond, inner)
+		}
+		if st.Post != nil {
+			r.stmt(st.Post, inner)
+		}
+		r.block(st.Body, inner)
+	case *ast.RangeStmt:
+		inner := &scope{parent: sc, names: make(map[string]*Symbol)}
+		r.expr(st.X, inner)
+		if st.Tok == token.DEFINE {
+			if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+				r.define(id, inner)
+			}
+			if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+				r.define(id, inner)
+			}
+		} else {
+			if st.Key != nil {
+				r.expr(st.Key, inner)
+			}
+			if st.Value != nil {
+				r.expr(st.Value, inner)
+			}
+		}
+		r.block(st.Body, inner)
+	case *ast.SwitchStmt:
+		inner := &scope{parent: sc, names: make(map[string]*Symbol)}
+		if st.Init != nil {
+			r.stmt(st.Init, inner)
+		}
+		if st.Tag != nil {
+			r.expr(st.Tag, inner)
+		}
+		for _, cc := range st.Body.List {
+			clause := cc.(*ast.CaseClause)
+			caseScope := &scope{parent: inner, names: make(map[string]*Symbol)}
+			for _, e := range clause.List {
+				r.expr(e, caseScope)
+			}
+			for _, cs := range clause.Body {
+				r.stmt(cs, caseScope)
+			}
+		}
+	case *ast.LabeledStmt:
+		r.stmt(st.Stmt, sc)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		// no identifiers
+	case *ast.GoStmt:
+		r.expr(st.Call, sc)
+	case *ast.DeferStmt:
+		r.expr(st.Call, sc)
+	case *ast.SendStmt:
+		r.expr(st.Chan, sc)
+		r.expr(st.Value, sc)
+	}
+}
+
+func (r *resolver) define(id *ast.Ident, sc *scope) {
+	if id.Name == "_" {
+		return
+	}
+	sym := &Symbol{Name: id.Name, Kind: LocalSym, Decl: id.Pos()}
+	sc.define(sym)
+	r.res.uses[id] = sym
+	r.res.declStmt[sym] = r.curStmt
+}
+
+func (r *resolver) expr(e ast.Expr, sc *scope) {
+	switch ex := e.(type) {
+	case *ast.Ident:
+		if ex.Name == "_" || ex.Name == "true" || ex.Name == "false" || ex.Name == "nil" || ex.Name == "iota" {
+			return
+		}
+		if sym := sc.lookup(ex.Name); sym != nil {
+			r.res.uses[ex] = sym
+		}
+	case *ast.BinaryExpr:
+		r.expr(ex.X, sc)
+		r.expr(ex.Y, sc)
+	case *ast.UnaryExpr:
+		r.expr(ex.X, sc)
+	case *ast.ParenExpr:
+		r.expr(ex.X, sc)
+	case *ast.StarExpr:
+		r.expr(ex.X, sc)
+	case *ast.IndexExpr:
+		r.expr(ex.X, sc)
+		r.expr(ex.Index, sc)
+	case *ast.SliceExpr:
+		r.expr(ex.X, sc)
+		for _, idx := range []ast.Expr{ex.Low, ex.High, ex.Max} {
+			if idx != nil {
+				r.expr(idx, sc)
+			}
+		}
+	case *ast.SelectorExpr:
+		// Only the base resolves; the field name is not a variable.
+		r.expr(ex.X, sc)
+	case *ast.CallExpr:
+		r.expr(ex.Fun, sc)
+		for _, a := range ex.Args {
+			r.expr(a, sc)
+		}
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				r.expr(kv.Value, sc)
+				continue
+			}
+			r.expr(el, sc)
+		}
+	case *ast.KeyValueExpr:
+		r.expr(ex.Key, sc)
+		r.expr(ex.Value, sc)
+	case *ast.TypeAssertExpr:
+		r.expr(ex.X, sc)
+	case *ast.FuncLit:
+		// Free variables inside the literal resolve against the
+		// enclosing scope; bound ones get fresh symbols.
+		inner := &scope{parent: sc, names: make(map[string]*Symbol)}
+		if ex.Type.Params != nil {
+			for _, f := range ex.Type.Params.List {
+				for _, name := range f.Names {
+					sym := &Symbol{Name: name.Name, Kind: LocalSym, Decl: name.Pos()}
+					inner.define(sym)
+					r.res.uses[name] = sym
+				}
+			}
+		}
+		r.block(ex.Body, inner)
+	}
+}

@@ -1,0 +1,129 @@
+package parrt
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// MasterWorker is the tunable master/worker pattern: a master
+// distributes independent tasks to a pool of workers and collects the
+// results. It is the second pattern of the paper's catalog and also
+// appears nested inside pipelines (Fig. 3d) for stage groups such as
+// (A || B || C).
+//
+// Tuning parameters (registered under "masterworker.<name>."):
+//
+//   - workers:             pool size (1..MaxWorkers)
+//   - orderpreservation:   return results in task submission order
+//   - sequentialexecution: run tasks inline on the master
+//   - minparallellen:      task-count threshold for inline execution
+type MasterWorker[T, R any] struct {
+	name string
+	work func(T) R
+
+	workers *Param
+	order   *Param
+	seq     *Param
+	minPl   *Param
+
+	items     stageCounters
+	busyTotal time.Duration
+}
+
+// NewMasterWorker constructs the pattern around the worker function
+// work, registering tuning parameters in ps (nil allowed). maxWorkers
+// caps the pool size; 0 means runtime.NumCPU().
+func NewMasterWorker[T, R any](name string, ps *Params, maxWorkers int, work func(T) R) *MasterWorker[T, R] {
+	if work == nil {
+		panic("parrt: NewMasterWorker requires a work function")
+	}
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.NumCPU()
+	}
+	prefix := "masterworker." + name
+	mw := &MasterWorker[T, R]{name: name, work: work}
+	mw.workers = ps.Register(Param{
+		Key:  prefix + ".workers",
+		Kind: IntParam, Min: 1, Max: maxWorkers, Value: maxWorkers,
+	})
+	mw.order = ps.Register(Param{
+		Key:  prefix + "." + keyOrder,
+		Kind: BoolParam, Min: 0, Max: 1, Value: 1,
+	})
+	mw.seq = ps.Register(Param{
+		Key:  prefix + "." + keySequential,
+		Kind: BoolParam, Min: 0, Max: 1, Value: 0,
+	})
+	mw.minPl = ps.Register(Param{
+		Key:  prefix + "." + keyMinParallel,
+		Kind: IntParam, Min: 0, Max: 1 << 20, Step: 1 << 14, Value: 2,
+	})
+	return mw
+}
+
+// Name returns the pattern instance name.
+func (mw *MasterWorker[T, R]) Name() string { return mw.name }
+
+// Process applies the worker function to every task and returns the
+// results. With OrderPreservation (default) results arrive in task
+// order; otherwise in completion order. Sequential fallback follows
+// the same rules as Pipeline.Process.
+func (mw *MasterWorker[T, R]) Process(tasks []T) []R {
+	if mw.seq.Bool() || len(tasks) < mw.minPl.Value {
+		out := make([]R, len(tasks))
+		for i, t := range tasks {
+			out[i] = mw.work(t)
+			mw.items.items.Add(1)
+		}
+		return out
+	}
+	n := mw.workers.Value
+	if n > len(tasks) {
+		n = len(tasks)
+	}
+	type job struct {
+		idx  int
+		task T
+	}
+	type done struct {
+		idx int
+		res R
+	}
+	jobs := make(chan job, len(tasks))
+	for i, t := range tasks {
+		jobs <- job{i, t}
+	}
+	close(jobs)
+	results := make(chan done, len(tasks))
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- done{j.idx, mw.work(j.task)}
+				mw.items.items.Add(1)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	if mw.order.Bool() {
+		out := make([]R, len(tasks))
+		for d := range results {
+			out[d.idx] = d.res
+		}
+		return out
+	}
+	out := make([]R, 0, len(tasks))
+	for d := range results {
+		out = append(out, d.res)
+	}
+	return out
+}
+
+// ItemsProcessed reports the number of tasks completed so far.
+func (mw *MasterWorker[T, R]) ItemsProcessed() int64 { return mw.items.items.Load() }

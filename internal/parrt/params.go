@@ -1,0 +1,187 @@
+package parrt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ParamKind describes the value domain of a tuning parameter.
+type ParamKind int
+
+const (
+	// IntParam is an integer parameter in [Min, Max] with step Step.
+	IntParam ParamKind = iota
+	// BoolParam is a boolean parameter encoded as 0 (false) or 1 (true).
+	BoolParam
+	// EnumParam is an integer index into a fixed list of named choices.
+	EnumParam
+)
+
+// String returns the lower-case kind name used in tuning files.
+func (k ParamKind) String() string {
+	switch k {
+	case IntParam:
+		return "int"
+	case BoolParam:
+		return "bool"
+	case EnumParam:
+		return "enum"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", int(k))
+	}
+}
+
+// Param is one runtime-relevant tuning parameter. Changing its value
+// affects performance but never correctness (paper §2.1). Parameters
+// are identified by a stable dotted Key so that the tuning
+// configuration file survives recompilation.
+type Param struct {
+	// Key is the stable identifier, e.g. "pipeline.video.stage.2.replication".
+	Key string
+	// Location is the source location the parameter belongs to
+	// ("file.go:17"), mirroring the paper's tuning file which records
+	// code locations next to values.
+	Location string
+	// Kind is the value domain.
+	Kind ParamKind
+	// Min and Max bound the value (inclusive). For BoolParam they are 0 and 1.
+	Min, Max int
+	// Step is the linear-search stride; 0 means 1.
+	Step int
+	// Choices names the enum values for EnumParam, indexed by value.
+	Choices []string
+	// Value is the current setting.
+	Value int
+}
+
+// Bool reports the parameter value as a boolean (non-zero is true).
+func (p *Param) Bool() bool { return p.Value != 0 }
+
+// Clamp forces Value into [Min, Max].
+func (p *Param) Clamp() {
+	if p.Value < p.Min {
+		p.Value = p.Min
+	}
+	if p.Value > p.Max {
+		p.Value = p.Max
+	}
+}
+
+// Params is a registry of tuning parameters shared between a parallel
+// application and the auto-tuner. A nil *Params is valid and behaves
+// like an empty registry whose lookups return the supplied defaults,
+// so library types can be used without any tuning infrastructure.
+//
+// Params is safe for concurrent use.
+type Params struct {
+	mu sync.RWMutex
+	m  map[string]*Param
+}
+
+// NewParams returns an empty registry.
+func NewParams() *Params { return &Params{m: make(map[string]*Param)} }
+
+// Register adds p to the registry, clamping its value, and returns the
+// registered parameter. If a parameter with the same key already exists
+// (for example because a tuning file was loaded before the pattern was
+// constructed), the existing parameter's Value is kept but its
+// metadata (kind, bounds, location) is refreshed; the existing pointer
+// is returned so the pattern observes tuned values.
+func (ps *Params) Register(p Param) *Param {
+	if ps == nil {
+		q := p
+		q.Clamp()
+		return &q
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if old, ok := ps.m[p.Key]; ok {
+		old.Location = p.Location
+		old.Kind = p.Kind
+		old.Min, old.Max, old.Step = p.Min, p.Max, p.Step
+		old.Choices = p.Choices
+		old.Clamp()
+		return old
+	}
+	q := p
+	q.Clamp()
+	ps.m[q.Key] = &q
+	return &q
+}
+
+// Lookup returns the parameter registered under key, or nil.
+func (ps *Params) Lookup(key string) *Param {
+	if ps == nil {
+		return nil
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return ps.m[key]
+}
+
+// Get returns the current value of key, or def if the key is unknown.
+func (ps *Params) Get(key string, def int) int {
+	if p := ps.Lookup(key); p != nil {
+		return p.Value
+	}
+	return def
+}
+
+// Set assigns value to key, creating an unbounded IntParam if the key
+// is unknown. The value is clamped to the parameter's bounds.
+func (ps *Params) Set(key string, value int) {
+	if ps == nil {
+		return
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if p, ok := ps.m[key]; ok {
+		p.Value = value
+		p.Clamp()
+		return
+	}
+	ps.m[key] = &Param{Key: key, Kind: IntParam, Min: value, Max: value, Value: value}
+}
+
+// All returns the registered parameters sorted by key.
+func (ps *Params) All() []*Param {
+	if ps == nil {
+		return nil
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	out := make([]*Param, 0, len(ps.m))
+	for _, p := range ps.m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Snapshot returns a copy of the current key→value assignment.
+func (ps *Params) Snapshot() map[string]int {
+	out := make(map[string]int)
+	if ps == nil {
+		return out
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	for k, p := range ps.m {
+		out[k] = p.Value
+	}
+	return out
+}
+
+// Apply sets every key in assignment, ignoring unknown keys' bounds as
+// in Set.
+func (ps *Params) Apply(assignment map[string]int) {
+	keys := make([]string, 0, len(assignment))
+	for k := range assignment {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ps.Set(k, assignment[k])
+	}
+}

@@ -1,0 +1,145 @@
+package parrt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsRegisterAndLookup(t *testing.T) {
+	ps := NewParams()
+	p := ps.Register(Param{Key: "a.b", Kind: IntParam, Min: 1, Max: 8, Value: 4})
+	if got := ps.Lookup("a.b"); got != p {
+		t.Fatalf("Lookup returned %v, want the registered pointer", got)
+	}
+	if ps.Get("a.b", 0) != 4 {
+		t.Fatalf("Get = %d, want 4", ps.Get("a.b", 0))
+	}
+	if ps.Get("missing", 7) != 7 {
+		t.Fatalf("Get default = %d, want 7", ps.Get("missing", 7))
+	}
+}
+
+func TestParamsRegisterClampsValue(t *testing.T) {
+	ps := NewParams()
+	p := ps.Register(Param{Key: "x", Kind: IntParam, Min: 1, Max: 3, Value: 99})
+	if p.Value != 3 {
+		t.Fatalf("Value = %d, want clamped 3", p.Value)
+	}
+	p = ps.Register(Param{Key: "y", Kind: IntParam, Min: 2, Max: 5, Value: 0})
+	if p.Value != 2 {
+		t.Fatalf("Value = %d, want clamped 2", p.Value)
+	}
+}
+
+func TestParamsReRegisterKeepsTunedValue(t *testing.T) {
+	ps := NewParams()
+	// Tuning file loaded before the pattern is constructed.
+	ps.Set("pipe.stage.0.replication", 4)
+	p := ps.Register(Param{Key: "pipe.stage.0.replication", Kind: IntParam, Min: 1, Max: 8, Value: 1})
+	if p.Value != 4 {
+		t.Fatalf("re-registered Value = %d, want preserved 4", p.Value)
+	}
+	if p.Max != 8 {
+		t.Fatalf("metadata not refreshed: Max = %d, want 8", p.Max)
+	}
+}
+
+func TestParamsReRegisterClampsStaleValue(t *testing.T) {
+	ps := NewParams()
+	ps.Set("k", 100)
+	p := ps.Register(Param{Key: "k", Kind: IntParam, Min: 1, Max: 8, Value: 1})
+	if p.Value != 8 {
+		t.Fatalf("Value = %d, want clamped 8", p.Value)
+	}
+}
+
+func TestParamsSetClampsToBounds(t *testing.T) {
+	ps := NewParams()
+	ps.Register(Param{Key: "k", Kind: IntParam, Min: 1, Max: 8, Value: 2})
+	ps.Set("k", 50)
+	if got := ps.Get("k", 0); got != 8 {
+		t.Fatalf("Set beyond Max: Get = %d, want 8", got)
+	}
+	ps.Set("k", -3)
+	if got := ps.Get("k", 0); got != 1 {
+		t.Fatalf("Set below Min: Get = %d, want 1", got)
+	}
+}
+
+func TestParamsAllSorted(t *testing.T) {
+	ps := NewParams()
+	for _, k := range []string{"c", "a", "b"} {
+		ps.Register(Param{Key: k, Kind: IntParam, Min: 0, Max: 1})
+	}
+	all := ps.All()
+	if len(all) != 3 {
+		t.Fatalf("len(All) = %d, want 3", len(all))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if all[i].Key != want {
+			t.Fatalf("All[%d].Key = %q, want %q", i, all[i].Key, want)
+		}
+	}
+}
+
+func TestParamsSnapshotApplyRoundTrip(t *testing.T) {
+	ps := NewParams()
+	ps.Register(Param{Key: "a", Kind: IntParam, Min: 0, Max: 10, Value: 3})
+	ps.Register(Param{Key: "b", Kind: BoolParam, Min: 0, Max: 1, Value: 1})
+	snap := ps.Snapshot()
+
+	ps.Set("a", 9)
+	ps.Set("b", 0)
+	ps.Apply(snap)
+	if ps.Get("a", -1) != 3 || ps.Get("b", -1) != 1 {
+		t.Fatalf("Apply(Snapshot) did not restore: a=%d b=%d", ps.Get("a", -1), ps.Get("b", -1))
+	}
+}
+
+func TestNilParamsIsUsable(t *testing.T) {
+	var ps *Params
+	p := ps.Register(Param{Key: "k", Kind: IntParam, Min: 1, Max: 4, Value: 2})
+	if p == nil || p.Value != 2 {
+		t.Fatalf("nil Params Register = %+v, want detached param with value 2", p)
+	}
+	if ps.Get("k", 7) != 7 {
+		t.Fatalf("nil Params Get should return default")
+	}
+	ps.Set("k", 3) // must not panic
+	if ps.Lookup("k") != nil {
+		t.Fatalf("nil Params Lookup should return nil")
+	}
+	if ps.All() != nil {
+		t.Fatalf("nil Params All should return nil")
+	}
+}
+
+func TestParamBoolAndKindString(t *testing.T) {
+	p := Param{Kind: BoolParam, Min: 0, Max: 1, Value: 1}
+	if !p.Bool() {
+		t.Fatal("Bool() = false, want true")
+	}
+	cases := map[ParamKind]string{IntParam: "int", BoolParam: "bool", EnumParam: "enum"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if ParamKind(42).String() != "ParamKind(42)" {
+		t.Fatalf("unknown kind String = %q", ParamKind(42).String())
+	}
+}
+
+func TestParamsClampProperty(t *testing.T) {
+	// Property: after any Set, the stored value is within bounds.
+	ps := NewParams()
+	ps.Register(Param{Key: "p", Kind: IntParam, Min: -5, Max: 17, Value: 0})
+	f := func(v int) bool {
+		ps.Set("p", v)
+		got := ps.Get("p", 0)
+		return got >= -5 && got <= 17
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+package parrt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects the iteration-to-worker assignment policy of a
+// data-parallel loop, mirroring the classic OpenMP schedules.
+type Schedule int
+
+const (
+	// StaticSchedule splits the iteration space into one contiguous
+	// block per worker up front. Lowest overhead, best for uniform
+	// iteration cost.
+	StaticSchedule Schedule = iota
+	// DynamicSchedule hands out fixed-size chunks from a shared
+	// counter. Balances irregular iteration cost at the price of one
+	// atomic operation per chunk.
+	DynamicSchedule
+	// GuidedSchedule hands out geometrically shrinking chunks:
+	// large chunks early (low overhead), small chunks late (balance).
+	GuidedSchedule
+)
+
+// String returns the lower-case schedule name used in tuning files.
+func (s Schedule) String() string {
+	switch s {
+	case StaticSchedule:
+		return "static"
+	case DynamicSchedule:
+		return "dynamic"
+	case GuidedSchedule:
+		return "guided"
+	default:
+		return "unknown"
+	}
+}
+
+// ScheduleNames lists the enum choices for the schedule tuning
+// parameter, indexed by Schedule value.
+var ScheduleNames = []string{"static", "dynamic", "guided"}
+
+// ParallelFor is the tunable data-parallel loop pattern. The detector
+// proves (optimistically) that iterations are independent apart from
+// recognized reductions; the transformation rewrites the loop body
+// into the Body function.
+//
+// Tuning parameters (registered under "parallelfor.<name>."):
+//
+//   - workers:             worker count (1..MaxWorkers)
+//   - chunksize:           dynamic/guided chunk granularity
+//   - schedule:            static / dynamic / guided
+//   - sequentialexecution: run the loop inline
+//   - minparallellen:      iteration-count threshold for inline execution
+type ParallelFor struct {
+	name string
+
+	workers  *Param
+	chunk    *Param
+	schedule *Param
+	seq      *Param
+	minPl    *Param
+}
+
+// NewParallelFor constructs a data-parallel loop instance, registering
+// tuning parameters in ps (nil allowed). maxWorkers caps the pool;
+// 0 means runtime.NumCPU().
+func NewParallelFor(name string, ps *Params, maxWorkers int) *ParallelFor {
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.NumCPU()
+	}
+	prefix := "parallelfor." + name
+	pf := &ParallelFor{name: name}
+	pf.workers = ps.Register(Param{
+		Key:  prefix + ".workers",
+		Kind: IntParam, Min: 1, Max: maxWorkers, Value: maxWorkers,
+	})
+	pf.chunk = ps.Register(Param{
+		Key:  prefix + ".chunksize",
+		Kind: IntParam, Min: 1, Max: 1 << 16, Step: 512, Value: 64,
+	})
+	pf.schedule = ps.Register(Param{
+		Key:  prefix + ".schedule",
+		Kind: EnumParam, Min: 0, Max: len(ScheduleNames) - 1,
+		Choices: ScheduleNames, Value: int(StaticSchedule),
+	})
+	pf.seq = ps.Register(Param{
+		Key:  prefix + "." + keySequential,
+		Kind: BoolParam, Min: 0, Max: 1, Value: 0,
+	})
+	pf.minPl = ps.Register(Param{
+		Key:  prefix + "." + keyMinParallel,
+		Kind: IntParam, Min: 0, Max: 1 << 20, Step: 1 << 14, Value: 2,
+	})
+	return pf
+}
+
+// Name returns the pattern instance name.
+func (pf *ParallelFor) Name() string { return pf.name }
+
+// For executes body(i) for every i in [0, n) according to the current
+// tuning parameters. Iterations must be independent; the caller (the
+// code generator) guarantees that via the dependence analysis.
+func (pf *ParallelFor) For(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if pf.seq.Bool() || n < pf.minPl.Value {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	workers := pf.workers.Value
+	if workers > n {
+		workers = n
+	}
+	switch Schedule(pf.schedule.Value) {
+	case DynamicSchedule:
+		pf.forDynamic(n, workers, pf.chunk.Value, body)
+	case GuidedSchedule:
+		pf.forGuided(n, workers, pf.chunk.Value, body)
+	default:
+		pf.forStatic(n, workers, body)
+	}
+}
+
+func (pf *ParallelFor) forStatic(n, workers int, body func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (pf *ParallelFor) forDynamic(n, workers, chunk int, body func(int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (pf *ParallelFor) forGuided(n, workers, minChunk int, body func(int)) {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	var mu sync.Mutex
+	next := 0
+	take := func() (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, 0
+		}
+		remaining := n - next
+		chunk := remaining / (2 * workers)
+		if chunk < minChunk {
+			chunk = minChunk
+		}
+		if chunk > remaining {
+			chunk = remaining
+		}
+		lo := next
+		next += chunk
+		return lo, lo + chunk
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi := take()
+				if lo == hi {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Reduce executes a data-parallel reduction: body(i) produces a
+// partial value for iteration i, combine folds two partials. combine
+// must be associative and commutative (the detector only emits Reduce
+// for recognized reduction idioms such as sum += f(i)). identity is
+// the neutral element.
+func Reduce[R any](pf *ParallelFor, n int, identity R, body func(i int) R, combine func(a, b R) R) R {
+	if n <= 0 {
+		return identity
+	}
+	if pf.seq.Bool() || n < pf.minPl.Value {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = combine(acc, body(i))
+		}
+		return acc
+	}
+	workers := pf.workers.Value
+	if workers > n {
+		workers = n
+	}
+	partials := make([]R, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, body(i))
+			}
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}

@@ -1,0 +1,340 @@
+package parrt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StageFunc processes one stream element in place. Elements are passed
+// by pointer along the pipeline so that parallel sub-stages (see Group)
+// can fill disjoint parts of the same element.
+type StageFunc[T any] func(*T)
+
+// Stage describes one pipeline stage before tuning. The detector
+// (package pattern) marks a stage Replicable when it has no side
+// effects on other stream elements (paper §2.2, StageReplication);
+// only replicable stages ever execute with replication > 1.
+type Stage[T any] struct {
+	// Name identifies the stage; it appears in tuning-parameter keys
+	// and statistics. TADL single-letter labels ("A", "B", ...) are
+	// typical for generated code.
+	Name string
+	// Fn is the stage body.
+	Fn StageFunc[T]
+	// Replicable marks the stage safe for parallel self-execution on
+	// consecutive stream elements.
+	Replicable bool
+	// MaxReplication caps the replication tuning parameter; 0 means
+	// runtime.NumCPU().
+	MaxReplication int
+}
+
+// Group builds a stage whose body executes the given sub-functions
+// concurrently on the same element and waits for all of them. This is
+// the hierarchical master/worker-in-a-pipeline shape of paper Fig. 3d,
+// where crop, histogram and oil filters run in parallel per image. The
+// sub-functions must write disjoint parts of the element; the detector
+// establishes that from the data-flow analysis (PLDS).
+func Group[T any](name string, replicable bool, fns ...StageFunc[T]) Stage[T] {
+	return Stage[T]{
+		Name:       name,
+		Replicable: replicable,
+		Fn: func(v *T) {
+			if len(fns) == 1 {
+				fns[0](v)
+				return
+			}
+			var wg sync.WaitGroup
+			wg.Add(len(fns))
+			for _, fn := range fns {
+				go func(fn StageFunc[T]) {
+					defer wg.Done()
+					fn(v)
+				}(fn)
+			}
+			wg.Wait()
+		},
+	}
+}
+
+// StageStats reports per-stage runtime behaviour, the signal behind the
+// paper's runtime-distribution visualization (Fig. 4c) and the
+// auto-tuner's stage-imbalance feedback.
+type StageStats struct {
+	Name  string
+	Items int64         // elements processed
+	Busy  time.Duration // accumulated in-stage processing time
+}
+
+type stageCounters struct {
+	items     atomic.Int64
+	busyNanos atomic.Int64
+}
+
+// Pipeline is the tunable software-pipeline pattern. Stages are bound
+// to goroutines ("stage binding", paper §2.2) and connected by bounded
+// buffers. The zero value is not usable; construct with NewPipeline.
+type Pipeline[T any] struct {
+	name   string
+	stages []Stage[T]
+	params *Params
+
+	repl  []*Param // per stage: replication degree
+	order []*Param // per stage: order preservation after replication
+	fuse  []*Param // per adjacent pair (i, i+1): execute in one goroutine
+	seq   *Param   // global: force sequential execution
+	buf   *Param   // global: inter-stage buffer capacity
+	minPl *Param   // global: stream-length threshold below which Process runs sequentially
+
+	counters []stageCounters
+}
+
+// Pipeline tuning-parameter key suffixes.
+const (
+	keyReplication  = "replication"
+	keyOrder        = "orderpreservation"
+	keyFusion       = "stagefusion"
+	keySequential   = "sequentialexecution"
+	keyBuffer       = "buffersize"
+	keyMinParallel  = "minparallellen"
+	defaultBufCap   = 8
+	defaultMinParLn = 4
+)
+
+// NewPipeline constructs a pipeline named name from stages, registering
+// its tuning parameters in ps (which may be nil for an untuned
+// pipeline). Parameter keys follow the scheme
+//
+//	pipeline.<name>.stage.<i>.<param>   per-stage parameters
+//	pipeline.<name>.fuse.<i>            fuse stages i and i+1
+//	pipeline.<name>.<param>             global parameters
+//
+// matching the tuning configuration file of paper Fig. 3c.
+func NewPipeline[T any](name string, ps *Params, stages ...Stage[T]) *Pipeline[T] {
+	if len(stages) == 0 {
+		panic("parrt: NewPipeline requires at least one stage")
+	}
+	p := &Pipeline[T]{
+		name:     name,
+		stages:   stages,
+		params:   ps,
+		counters: make([]stageCounters, len(stages)),
+	}
+	prefix := "pipeline." + name
+	for i, s := range stages {
+		maxRepl := s.MaxReplication
+		if maxRepl <= 0 {
+			maxRepl = runtime.NumCPU()
+		}
+		if !s.Replicable {
+			maxRepl = 1
+		}
+		p.repl = append(p.repl, ps.Register(Param{
+			Key:  fmt.Sprintf("%s.stage.%d.%s", prefix, i, keyReplication),
+			Kind: IntParam, Min: 1, Max: maxRepl, Value: 1,
+		}))
+		p.order = append(p.order, ps.Register(Param{
+			Key:  fmt.Sprintf("%s.stage.%d.%s", prefix, i, keyOrder),
+			Kind: BoolParam, Min: 0, Max: 1, Value: 1,
+		}))
+	}
+	for i := 0; i < len(stages)-1; i++ {
+		p.fuse = append(p.fuse, ps.Register(Param{
+			Key:  fmt.Sprintf("%s.fuse.%d", prefix, i),
+			Kind: BoolParam, Min: 0, Max: 1, Value: 0,
+		}))
+	}
+	p.seq = ps.Register(Param{
+		Key:  prefix + "." + keySequential,
+		Kind: BoolParam, Min: 0, Max: 1, Value: 0,
+	})
+	p.buf = ps.Register(Param{
+		Key:  prefix + "." + keyBuffer,
+		Kind: IntParam, Min: 1, Max: 1024, Step: 64, Value: defaultBufCap,
+	})
+	p.minPl = ps.Register(Param{
+		Key:  prefix + "." + keyMinParallel,
+		Kind: IntParam, Min: 0, Max: 1 << 20, Step: 1 << 14, Value: defaultMinParLn,
+	})
+	return p
+}
+
+// Name returns the pipeline's name.
+func (p *Pipeline[T]) Name() string { return p.name }
+
+// NumStages returns the number of (pre-fusion) stages.
+func (p *Pipeline[T]) NumStages() int { return len(p.stages) }
+
+// Stats returns a snapshot of per-stage counters.
+func (p *Pipeline[T]) Stats() []StageStats {
+	out := make([]StageStats, len(p.stages))
+	for i := range p.stages {
+		out[i] = StageStats{
+			Name:  p.stages[i].Name,
+			Items: p.counters[i].items.Load(),
+			Busy:  time.Duration(p.counters[i].busyNanos.Load()),
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes the per-stage counters.
+func (p *Pipeline[T]) ResetStats() {
+	for i := range p.counters {
+		p.counters[i].items.Store(0)
+		p.counters[i].busyNanos.Store(0)
+	}
+}
+
+// Process runs the pipeline over items and returns the processed
+// elements. If SequentialExecution is set, or the stream is shorter
+// than the MinParallelLen threshold, the stages run inline in order —
+// the paper's guarantee that pipeline execution never leads to a
+// slowdown versus the former sequential version. Otherwise elements
+// flow through the parallel stage graph; the result order matches the
+// input order whenever every replicated stage preserves order
+// (the default), and is arrival order otherwise.
+func (p *Pipeline[T]) Process(items []*T) []*T {
+	if p.seq.Bool() || len(items) < p.minPl.Value {
+		return p.processSequential(items)
+	}
+	in := make(chan *T, len(items))
+	for _, it := range items {
+		in <- it
+	}
+	close(in)
+	out := p.Run(in)
+	res := make([]*T, 0, len(items))
+	for v := range out {
+		res = append(res, v)
+	}
+	return res
+}
+
+func (p *Pipeline[T]) processSequential(items []*T) []*T {
+	for _, it := range items {
+		for i := range p.stages {
+			start := time.Now()
+			p.stages[i].Fn(it)
+			p.counters[i].busyNanos.Add(int64(time.Since(start)))
+			p.counters[i].items.Add(1)
+		}
+	}
+	return items
+}
+
+// Run starts the parallel stage graph reading from in and returns the
+// output channel. The channel is closed after the last element has
+// left the final stage. Run always executes in parallel regardless of
+// the SequentialExecution parameter; use Process for the tunable entry
+// point.
+func (p *Pipeline[T]) Run(in <-chan *T) <-chan *T {
+	segs := p.plan()
+	// StreamGenerator (PLPL): the implicit first stage numbering the
+	// continuous stream so replicated stages can restore order.
+	gen := make(chan seqItem[T], p.buf.Value)
+	go func() {
+		var seq uint64
+		for v := range in {
+			gen <- seqItem[T]{seq: seq, v: v}
+			seq++
+		}
+		close(gen)
+	}()
+	cur := gen
+	for _, sg := range segs {
+		cur = p.runSegment(sg, cur)
+	}
+	out := make(chan *T, p.buf.Value)
+	go func() {
+		for it := range cur {
+			out <- it.v
+		}
+		close(out)
+	}()
+	return out
+}
+
+// seqItem carries a stream element with its generation sequence number.
+type seqItem[T any] struct {
+	seq uint64
+	v   *T
+}
+
+// segment is a fused run of stages executed by a common worker set.
+type segment struct {
+	lo, hi      int // stage index range [lo, hi]
+	replication int
+	preserve    bool
+}
+
+// plan folds the fusion, replication and order parameters into the
+// executable segment list. A fused segment replicates only when every
+// member stage is replicable (otherwise fusing would silently license
+// parallel execution of a stage the detector deemed unsafe); its degree
+// is the maximum member degree, and it preserves order when any member
+// requests preservation.
+func (p *Pipeline[T]) plan() []segment {
+	var segs []segment
+	for i := 0; i < len(p.stages); {
+		j := i
+		for j < len(p.stages)-1 && p.fuse[j].Bool() {
+			j++
+		}
+		sg := segment{lo: i, hi: j, replication: 1}
+		allRepl := true
+		for k := i; k <= j; k++ {
+			if !p.stages[k].Replicable {
+				allRepl = false
+			}
+		}
+		if allRepl {
+			for k := i; k <= j; k++ {
+				if r := p.repl[k].Value; r > sg.replication {
+					sg.replication = r
+				}
+			}
+		}
+		if sg.replication > 1 {
+			for k := i; k <= j; k++ {
+				if p.order[k].Bool() {
+					sg.preserve = true
+				}
+			}
+		}
+		segs = append(segs, sg)
+		i = j + 1
+	}
+	return segs
+}
+
+func (p *Pipeline[T]) runSegment(sg segment, in chan seqItem[T]) chan seqItem[T] {
+	out := make(chan seqItem[T], p.buf.Value)
+	var wg sync.WaitGroup
+	wg.Add(sg.replication)
+	for w := 0; w < sg.replication; w++ {
+		go func() {
+			defer wg.Done()
+			for it := range in {
+				for k := sg.lo; k <= sg.hi; k++ {
+					start := time.Now()
+					p.stages[k].Fn(it.v)
+					p.counters[k].busyNanos.Add(int64(time.Since(start)))
+					p.counters[k].items.Add(1)
+				}
+				out <- it
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	if sg.preserve {
+		return reorder(out, p.buf.Value)
+	}
+	return out
+}

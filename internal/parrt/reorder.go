@@ -1,0 +1,44 @@
+package parrt
+
+// reorder restores stream order after a replicated segment
+// (paper §2.2, OrderPreservation): when element e_{i+1} overtakes its
+// predecessor e_i inside a replicated stage, the reorder buffer holds
+// it back until e_i has been emitted. Sequence numbers are assigned by
+// the implicit StreamGenerator stage, so the expected next sequence is
+// exactly the count of elements already released.
+func reorder[T any](in chan seqItem[T], bufCap int) chan seqItem[T] {
+	out := make(chan seqItem[T], bufCap)
+	go func() {
+		defer close(out)
+		pending := make(map[uint64]seqItem[T])
+		var next uint64
+		for it := range in {
+			if it.seq != next {
+				pending[it.seq] = it
+				continue
+			}
+			out <- it
+			next++
+			for {
+				buf, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- buf
+				next++
+			}
+		}
+		// Drain any residue (possible only if the producer skipped
+		// sequence numbers, which Run never does; kept for robustness
+		// against misuse).
+		for len(pending) > 0 {
+			if buf, ok := pending[next]; ok {
+				delete(pending, next)
+				out <- buf
+			}
+			next++
+		}
+	}()
+	return out
+}

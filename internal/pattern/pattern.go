@@ -1,0 +1,544 @@
+// Package pattern implements Patty's source-pattern detection: it
+// walks the semantic model (package model) and matches loops against
+// the catalog of sequential source patterns paired with parallel
+// target patterns — pipeline, data-parallel loop and master/worker —
+// deriving the tuning parameters of §2.2 (PLTP) along the way.
+//
+// The pipeline rules follow the paper directly:
+//
+//	PLPL  every loop is a pipeline indication; the loop header becomes
+//	      the implicit StreamGenerator and each top-level body
+//	      statement starts as its own stage.
+//	PLDD  loop-carried dependences force the source statement, the
+//	      sink statement and everything between them into one stage.
+//	PLCD  break/return inside the body affect other stream elements'
+//	      control flow and reject the loop; continue is permitted.
+//	PLDS  intra-iteration def-use flows define the data passed along
+//	      stage buffers.
+//	PLTP  runtime shares pick replication candidates (the hottest
+//	      side-effect-free stage) and fusion candidates (cheap
+//	      neighbours); OrderPreservation and SequentialExecution are
+//	      always emitted.
+package pattern
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"patty/internal/deps"
+	"patty/internal/model"
+	"patty/internal/tadl"
+)
+
+// Kind is the detected target pattern.
+type Kind int
+
+const (
+	// PipelineKind is the software pipeline of §2.2.
+	PipelineKind Kind = iota
+	// DataParallelKind is an independent-iteration loop with regular
+	// (straight-line) per-element work.
+	DataParallelKind
+	// MasterWorkerKind is an independent-iteration loop with irregular
+	// per-element work (data-dependent control flow or calls), better
+	// served by a task queue than by static chunking.
+	MasterWorkerKind
+)
+
+// String returns the pattern name.
+func (k Kind) String() string {
+	switch k {
+	case PipelineKind:
+		return "pipeline"
+	case DataParallelKind:
+		return "data-parallel"
+	case MasterWorkerKind:
+		return "master-worker"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Stage is one pipeline stage after PLDD merging.
+type Stage struct {
+	// Label is the TADL stage label (A, B, ...).
+	Label string
+	// Stmts are the top-level body statement ids the stage executes.
+	Stmts []int
+	// Replicable marks the stage free of carried dependences
+	// (no side effects on other stream elements).
+	Replicable bool
+	// ReplicationSuggested marks the PLTP replication candidate (the
+	// replicable stage with the highest runtime share).
+	ReplicationSuggested bool
+	// Share is the stage's fraction of body runtime (0 without a
+	// dynamic profile).
+	Share float64
+}
+
+// ParamSuggestion is one derived tuning parameter with its suggested
+// initial value; the transformation serializes these into the tuning
+// configuration file.
+type ParamSuggestion struct {
+	Name  string
+	Value int
+}
+
+// Candidate is one detected parallelizable location.
+type Candidate struct {
+	Kind   Kind
+	Fn     string
+	LoopID int
+	Pos    token.Position
+	// Stages holds the pipeline stages (single pseudo-stage for
+	// data-parallel and master/worker candidates).
+	Stages []Stage
+	// Arch is the TADL architecture expression.
+	Arch tadl.Node
+	// Annotation is ready to insert with tadl.Annotate.
+	Annotation tadl.Annotation
+	// Reductions lists recognized reductions (data-parallel only).
+	Reductions []deps.Reduction
+	// Params are the PLTP tuning-parameter suggestions.
+	Params []ParamSuggestion
+	// HotShare is the loop's share of workload runtime (0 unprofiled).
+	HotShare float64
+	// Score ranks candidates for presentation (share × parallel benefit).
+	Score float64
+	// Reasons documents the decisions for the R2 artifact views.
+	Reasons []string
+}
+
+// Rejection explains why a loop was not matched.
+type Rejection struct {
+	Fn     string
+	LoopID int
+	Pos    token.Position
+	Reason string
+}
+
+// Report is the detection outcome over a whole program.
+type Report struct {
+	Candidates []Candidate
+	Rejected   []Rejection
+}
+
+// Options tunes detection.
+type Options struct {
+	// FusionShareThreshold marks stages below this share as fusion
+	// candidates (default 0.10).
+	FusionShareThreshold float64
+	// SkipNested restricts detection to outermost loops (default
+	// true; hierarchical parallelism comes from stage replication).
+	SkipNested bool
+	// StaticOnly ignores dynamic profiles even when present — the
+	// conservative ablation of DESIGN.md §5.
+	StaticOnly bool
+	// MinIterations rejects profiled loops with fewer iterations
+	// (too short to amortize threading; SequentialExecution would
+	// always win). 0 keeps everything.
+	MinIterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FusionShareThreshold == 0 {
+		o.FusionShareThreshold = 0.10
+	}
+	return o
+}
+
+// Detect matches every loop in the model against the pattern catalog.
+func Detect(m *model.Model, opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{}
+	for _, lm := range m.AllLoops() {
+		if opt.SkipNested && lm.Nested {
+			continue
+		}
+		c, rej := detectLoop(m, lm, opt)
+		if rej != nil {
+			rep.Rejected = append(rep.Rejected, *rej)
+			continue
+		}
+		if c != nil {
+			rep.Candidates = append(rep.Candidates, *c)
+		}
+	}
+	sort.SliceStable(rep.Candidates, func(i, j int) bool {
+		return rep.Candidates[i].Score > rep.Candidates[j].Score
+	})
+	return rep
+}
+
+func detectLoop(m *model.Model, lm *model.LoopModel, opt Options) (*Candidate, *Rejection) {
+	fn := lm.Fn
+	pos := m.Prog.Position(lm.Loop.Pos())
+	reject := func(format string, args ...any) (*Candidate, *Rejection) {
+		return nil, &Rejection{Fn: fn.Name, LoopID: lm.LoopID, Pos: pos,
+			Reason: fmt.Sprintf(format, args...)}
+	}
+
+	// PLCD: control statements that leave the loop reject it.
+	if n := len(lm.Static.Control); n > 0 {
+		return reject("PLCD: %d break/return statement(s) affect other stream elements", n)
+	}
+	if len(lm.Static.Body) == 0 {
+		return reject("empty loop body")
+	}
+	if opt.MinIterations > 0 && lm.Dynamic != nil && lm.Dynamic.Iters < opt.MinIterations {
+		return reject("stream too short (%d iterations): SequentialExecution always wins", lm.Dynamic.Iters)
+	}
+
+	carried := lm.Static.CarriedDeps()
+	if !opt.StaticOnly && lm.Dynamic != nil {
+		carried = lm.CarriedDeps()
+	}
+
+	if len(carried) == 0 {
+		return independentLoopCandidate(m, lm, opt), nil
+	}
+	return pipelineCandidate(m, lm, carried, opt)
+}
+
+// independentLoopCandidate classifies a dependence-free loop as
+// data-parallel (regular body) or master/worker (irregular body).
+func independentLoopCandidate(m *model.Model, lm *model.LoopModel, opt Options) *Candidate {
+	fn := lm.Fn
+	kind := DataParallelKind
+	reasons := []string{"no loop-carried dependences: iterations are independent"}
+	if irregularBody(lm.Loop) {
+		kind = MasterWorkerKind
+		reasons = append(reasons, "irregular per-element work (data-dependent control flow): task queue beats static chunking")
+	}
+	if len(lm.Static.Reductions) > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d reduction(s) handled by the runtime", len(lm.Static.Reductions)))
+	}
+
+	label := &tadl.Label{Name: "A", Replicable: true}
+	var arch tadl.Node
+	if kind == DataParallelKind {
+		arch = &tadl.Call{Fn: "forall", Arg: label}
+	} else {
+		arch = &tadl.Call{Fn: "master", Arg: label}
+	}
+	stageOf := make(map[int]string, len(lm.Static.Body))
+	for _, id := range lm.Static.Body {
+		stageOf[id] = "A"
+	}
+	c := &Candidate{
+		Kind:   kind,
+		Fn:     fn.Name,
+		LoopID: lm.LoopID,
+		Pos:    m.Prog.Position(lm.Loop.Pos()),
+		Stages: []Stage{{Label: "A", Stmts: append([]int(nil), lm.Static.Body...), Replicable: true, Share: 1}},
+		Arch:   arch,
+		Annotation: tadl.Annotation{
+			Kind: arch.(*tadl.Call).Fn, Arch: arch,
+			Fn: fn.Name, LoopID: lm.LoopID, StageOf: stageOf,
+		},
+		Reductions: lm.Static.Reductions,
+		HotShare:   lm.HotShare,
+		Reasons:    reasons,
+	}
+	c.Params = []ParamSuggestion{
+		{Name: "workers", Value: 0}, // 0: runtime picks NumCPU; tuner refines
+		{Name: "sequentialexecution", Value: 0},
+	}
+	if kind == DataParallelKind {
+		c.Params = append(c.Params, ParamSuggestion{Name: "schedule", Value: 0}, ParamSuggestion{Name: "chunksize", Value: 64})
+	}
+	c.Score = score(lm, 1.0)
+	return c
+}
+
+// irregularBody reports data-dependent control flow in the loop body.
+func irregularBody(loop ast.Stmt) bool {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	default:
+		return false
+	}
+	irregular := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt:
+			irregular = true
+			return false
+		}
+		return true
+	})
+	return irregular
+}
+
+// pipelineCandidate applies PLPL/PLDD/PLDS/PLTP to a loop with carried
+// dependences.
+func pipelineCandidate(m *model.Model, lm *model.LoopModel, carried []deps.Dep, opt Options) (*Candidate, *Rejection) {
+	fn := lm.Fn
+	pos := m.Prog.Position(lm.Loop.Pos())
+	body := lm.Static.Body
+	posOf := make(map[int]int, len(body))
+	for i, id := range body {
+		posOf[id] = i
+	}
+
+	// PLPL: one stage per top-level statement; PLDD: merge the closed
+	// range between carried-dependence endpoints. Union of ranges via
+	// a boolean "glue" between adjacent positions.
+	glue := make([]bool, len(body)) // glue[i]: body[i] and body[i+1] share a stage
+	selfCarried := make([]bool, len(body))
+	// PLCD refinement: statements after a continue-bearing statement
+	// are control-dependent on it — they must share its stage, since
+	// a later stage cannot un-run for a skipped element.
+	for _, cid := range lm.Static.ContinueAt {
+		if p, ok := posOf[cid]; ok {
+			for i := p; i < len(body)-1; i++ {
+				glue[i] = true
+			}
+			selfCarried[p] = true // skipping is a per-element side effect on flow
+		}
+	}
+	for _, d := range carried {
+		pf, okF := posOf[d.From]
+		pt, okT := posOf[d.To]
+		if !okF || !okT {
+			continue // dep on a nested statement: attribute to its top-level ancestor is already done upstream
+		}
+		lo, hi := pf, pt
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			selfCarried[lo] = true
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			glue[i] = true
+		}
+		for i := lo; i <= hi; i++ {
+			selfCarried[i] = true
+		}
+	}
+
+	var stages []Stage
+	for i := 0; i < len(body); {
+		j := i
+		for j < len(body)-1 && glue[j] {
+			j++
+		}
+		replicable := true
+		for k := i; k <= j; k++ {
+			if selfCarried[k] {
+				replicable = false
+			}
+		}
+		stages = append(stages, Stage{
+			Stmts:      append([]int(nil), body[i:j+1]...),
+			Replicable: replicable,
+		})
+		i = j + 1
+	}
+	if len(stages) < 2 {
+		return nil, &Rejection{Fn: fn.Name, LoopID: lm.LoopID, Pos: pos,
+			Reason: "PLDD: carried dependences span the whole body; no pipeline stages remain"}
+	}
+
+	// Labels and shares.
+	for i := range stages {
+		stages[i].Label = stageLabel(i)
+		if lm.Dynamic != nil {
+			for _, id := range stages[i].Stmts {
+				stages[i].Share += lm.Dynamic.Share[id]
+			}
+		}
+	}
+
+	// PLTP profitability: when a profile exists and the sequential
+	// (non-replicable) stages carry nearly all the runtime, no stage
+	// organization can pay off — the pipeline is bounded by its
+	// slowest sequential stage.
+	if lm.Dynamic != nil {
+		seqShare := 0.0
+		for _, st := range stages {
+			if !st.Replicable {
+				seqShare += st.Share
+			}
+		}
+		if seqShare > 0.9 {
+			return nil, &Rejection{Fn: fn.Name, LoopID: lm.LoopID, Pos: pos,
+				Reason: fmt.Sprintf("PLTP: sequential stages carry %.0f%% of the runtime; no speedup possible", seqShare*100)}
+		}
+	}
+
+	// PLTP StageReplication: hottest replicable stage. Without a
+	// profile, every replicable stage keeps Replicable=true but none
+	// is singled out.
+	best := -1
+	for i, st := range stages {
+		if st.Replicable && (best < 0 || st.Share > stages[best].Share) {
+			best = i
+		}
+	}
+	if best >= 0 && lm.Dynamic != nil && stages[best].Share > 0 {
+		stages[best].ReplicationSuggested = true
+	}
+
+	// PLDS: flows between stages (for grouping and reporting).
+	flows := lm.Static.StreamFlows()
+	flowBetween := func(a, b Stage) bool {
+		in := func(list []int, id int) bool {
+			for _, x := range list {
+				if x == id {
+					return true
+				}
+			}
+			return false
+		}
+		for _, f := range flows {
+			if in(a.Stmts, f.From) && in(b.Stmts, f.To) || in(b.Stmts, f.From) && in(a.Stmts, f.To) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Group consecutive mutually independent replicable stages into a
+	// parallel group (the (A || B || C) shape of Fig. 3).
+	var archStages []tadl.Node
+	reasons := []string{
+		fmt.Sprintf("PLPL: %d body statements form initial stages", len(body)),
+		fmt.Sprintf("PLDD: %d carried dependence(s) merged them into %d stage(s)", len(carried), len(stages)),
+	}
+	var groups [][]int // indices into stages
+	for i := 0; i < len(stages); {
+		run := []int{i}
+		for j := i + 1; j < len(stages); j++ {
+			indep := stages[j].Replicable && stages[run[0]].Replicable
+			for _, k := range run {
+				if flowBetween(stages[k], stages[j]) {
+					indep = false
+					break
+				}
+			}
+			if !indep {
+				break
+			}
+			run = append(run, j)
+		}
+		groups = append(groups, run)
+		i = run[len(run)-1] + 1
+	}
+	for _, g := range groups {
+		if len(g) == 1 {
+			st := stages[g[0]]
+			archStages = append(archStages, &tadl.Label{Name: st.Label, Replicable: st.ReplicationSuggested})
+			continue
+		}
+		var branches []tadl.Node
+		for _, i := range g {
+			branches = append(branches, &tadl.Label{Name: stages[i].Label, Replicable: stages[i].ReplicationSuggested})
+		}
+		archStages = append(archStages, &tadl.Par{Branches: branches})
+		reasons = append(reasons, fmt.Sprintf("PLDS: stages %s are mutually independent: master/worker group",
+			groupLabels(stages, g)))
+	}
+	var arch tadl.Node
+	if len(archStages) == 1 {
+		arch = archStages[0]
+	} else {
+		arch = &tadl.Seq{Stages: archStages}
+	}
+
+	stageOf := make(map[int]string)
+	for _, st := range stages {
+		for _, id := range st.Stmts {
+			stageOf[id] = st.Label
+		}
+	}
+
+	c := &Candidate{
+		Kind:   PipelineKind,
+		Fn:     fn.Name,
+		LoopID: lm.LoopID,
+		Pos:    pos,
+		Stages: stages,
+		Arch:   arch,
+		Annotation: tadl.Annotation{
+			Kind: "pipeline", Arch: arch,
+			Fn: fn.Name, LoopID: lm.LoopID, StageOf: stageOf,
+		},
+		HotShare: lm.HotShare,
+		Reasons:  reasons,
+	}
+
+	// PLTP parameter suggestions.
+	maxShare := 0.0
+	for i, st := range stages {
+		repl := 1
+		if st.ReplicationSuggested {
+			repl = 2 // initial value; the auto-tuner owns the final degree
+		}
+		c.Params = append(c.Params,
+			ParamSuggestion{Name: fmt.Sprintf("stage.%d.replication", i), Value: repl},
+			ParamSuggestion{Name: fmt.Sprintf("stage.%d.orderpreservation", i), Value: 1},
+		)
+		if st.Share > maxShare {
+			maxShare = st.Share
+		}
+	}
+	for i := 0; i+1 < len(stages); i++ {
+		fuse := 0
+		if lm.Dynamic != nil && stages[i].Share < opt.FusionShareThreshold && stages[i+1].Share < opt.FusionShareThreshold {
+			fuse = 1
+			reasons = append(reasons, fmt.Sprintf("PLTP: stages %s,%s are cheap (<%.0f%%): fusion suggested",
+				stages[i].Label, stages[i+1].Label, opt.FusionShareThreshold*100))
+		}
+		c.Params = append(c.Params, ParamSuggestion{Name: fmt.Sprintf("fuse.%d", i), Value: fuse})
+	}
+	c.Params = append(c.Params,
+		ParamSuggestion{Name: "sequentialexecution", Value: 0},
+		ParamSuggestion{Name: "buffersize", Value: 8},
+	)
+	c.Reasons = reasons
+
+	benefit := 1.0
+	if lm.Dynamic != nil && maxShare > 0 {
+		benefit = 1 - maxShare + 0.25 // pipeline speedup bounded by the hottest stage
+		if benefit > 1 {
+			benefit = 1
+		}
+	}
+	c.Score = score(lm, benefit)
+	return c, nil
+}
+
+func score(lm *model.LoopModel, benefit float64) float64 {
+	share := lm.HotShare
+	if share == 0 {
+		share = 0.5 // unprofiled: middle rank
+	}
+	return share * benefit
+}
+
+func stageLabel(i int) string {
+	if i < 26 {
+		return string(rune('A' + i))
+	}
+	return fmt.Sprintf("S%d", i)
+}
+
+func groupLabels(stages []Stage, g []int) string {
+	s := ""
+	for i, idx := range g {
+		if i > 0 {
+			s += ","
+		}
+		s += stages[idx].Label
+	}
+	return s
+}

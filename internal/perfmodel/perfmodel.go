@@ -1,0 +1,296 @@
+// Package perfmodel is a deterministic performance model for tunable
+// pipelines: the substitute for the paper's multicore testbed
+// (DESIGN.md §2 — this reproduction runs in a single-core container,
+// so wall-clock speedups cannot demonstrate multi-core scaling).
+//
+// The model evaluates the same execution plan parrt builds — fused
+// segments, per-stage replication, order restoration, sequential
+// fallback, per-hand-off overhead — with a recurrence over virtual
+// time:
+//
+//	start(s,i)  = max(finish(s-1,i), finish(s, i-r_s))
+//	finish(s,i) = start(s,i) + service(s,i) + handoff
+//
+// where r_s is the segment's replication degree and service(s,i) adds
+// deterministic per-item jitter (hash-based) so order restoration has
+// an observable cost. A core cap folds machine size in:
+//
+//	makespan = max(recurrence makespan, total work / cores + startup)
+//
+// The model is *not* cycle-accurate; it exists to reproduce the shape
+// of the paper's performance claims — replication doubles a hot
+// stage's effective frequency, fusion removes hand-off overhead for
+// cheap stages, sequential execution wins for short streams — and to
+// give the auto-tuner a fast, deterministic objective (E9, E11).
+package perfmodel
+
+import "fmt"
+
+// Stage describes one pipeline stage's cost model.
+type Stage struct {
+	Name string
+	// Time is the mean per-item service time in virtual ticks.
+	Time uint64
+	// Jitter is the maximum deterministic per-item service-time
+	// deviation (0..Jitter added per item, hash-distributed).
+	Jitter uint64
+	// Replicable marks the stage safe for replication.
+	Replicable bool
+}
+
+// Config is the evaluated execution plan.
+type Config struct {
+	// Cores is the machine size (>= 1).
+	Cores int
+	// Items is the stream length.
+	Items int
+	// Replication holds the per-stage replication degree (nil: all 1).
+	Replication []int
+	// Fuse marks adjacent stage pairs executed in one goroutine
+	// (len = len(stages)-1; nil: no fusion).
+	Fuse []bool
+	// OrderPreserve restores stream order after replicated segments.
+	OrderPreserve bool
+	// BufCap is the reorder/hand-off buffer capacity per stage
+	// (default 8). With order preservation, a replicated segment
+	// cannot run more than BufCap elements ahead of the in-order
+	// emission frontier — the stall that makes ordering cost
+	// throughput under jitter.
+	BufCap int
+	// Sequential runs everything inline (the SequentialExecution knob).
+	Sequential bool
+	// HandoffOverhead is the per-item cost of a buffer hand-off
+	// (default 25 when zero and not sequential).
+	HandoffOverhead uint64
+	// StartupOverhead is the one-time cost per spawned worker
+	// (default 200 when zero and not sequential).
+	StartupOverhead uint64
+}
+
+// Result reports the evaluation.
+type Result struct {
+	// Makespan is the modelled completion time.
+	Makespan uint64
+	// SequentialTime is the plain sequential execution time.
+	SequentialTime uint64
+	// Speedup is SequentialTime / Makespan.
+	Speedup float64
+	// Workers is the number of spawned stage workers.
+	Workers int
+	// BottleneckStage indexes the segment with the highest occupancy.
+	BottleneckStage int
+}
+
+// hashJitter derives a deterministic per-(segment,item) service jitter.
+func hashJitter(seg, item int, max uint64) uint64 {
+	if max == 0 {
+		return 0
+	}
+	h := uint64(seg*2654435761+item*40503) % 104729
+	return h % (max + 1)
+}
+
+// segment is a fused run of stages.
+type segment struct {
+	time       uint64
+	jitter     uint64
+	repl       int
+	replicable bool
+}
+
+// plan folds stages+config into segments using parrt's rules: a fused
+// segment replicates only if all members are replicable; its degree is
+// the max member degree.
+func plan(stages []Stage, cfg Config) []segment {
+	var segs []segment
+	for i := 0; i < len(stages); {
+		j := i
+		for j < len(stages)-1 && j < len(cfg.Fuse) && cfg.Fuse[j] {
+			j++
+		}
+		sg := segment{repl: 1, replicable: true}
+		for k := i; k <= j; k++ {
+			sg.time += stages[k].Time
+			sg.jitter += stages[k].Jitter
+			if !stages[k].Replicable {
+				sg.replicable = false
+			}
+		}
+		if sg.replicable && cfg.Replication != nil {
+			for k := i; k <= j; k++ {
+				if k < len(cfg.Replication) && cfg.Replication[k] > sg.repl {
+					sg.repl = cfg.Replication[k]
+				}
+			}
+		}
+		segs = append(segs, sg)
+		i = j + 1
+	}
+	return segs
+}
+
+// Simulate evaluates the plan.
+func Simulate(stages []Stage, cfg Config) Result {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	var seqTime uint64
+	for i := range stages {
+		per := stages[i].Time + stages[i].Jitter/2
+		seqTime += per * uint64(cfg.Items)
+	}
+	res := Result{SequentialTime: seqTime}
+	if cfg.Sequential || cfg.Items == 0 {
+		res.Makespan = seqTime
+		res.Workers = 0
+		if res.Makespan == 0 {
+			res.Makespan = 1
+		}
+		res.Speedup = float64(res.SequentialTime) / float64(res.Makespan)
+		return res
+	}
+
+	handoff := cfg.HandoffOverhead
+	if handoff == 0 {
+		handoff = 25
+	}
+	startup := cfg.StartupOverhead
+	if startup == 0 {
+		startup = 200
+	}
+
+	bufCap := cfg.BufCap
+	if bufCap <= 0 {
+		bufCap = 8
+	}
+	segs := plan(stages, cfg)
+	workers := 0
+	for _, sg := range segs {
+		workers += sg.repl
+	}
+
+	// Recurrence over (segment, item).
+	n := cfg.Items
+	finish := make([][]uint64, len(segs))
+	emit := make([][]uint64, len(segs)) // after optional reordering
+	busy := make([]uint64, len(segs))
+	for s := range segs {
+		finish[s] = make([]uint64, n)
+		emit[s] = make([]uint64, n)
+	}
+	for s, sg := range segs {
+		var maxSoFar uint64
+		for i := 0; i < n; i++ {
+			var arrive uint64
+			if s > 0 {
+				arrive = emit[s-1][i]
+			}
+			start := arrive
+			if i >= sg.repl && finish[s][i-sg.repl] > start {
+				start = finish[s][i-sg.repl]
+			}
+			// Order preservation backpressure: the replica pool may
+			// not run further than BufCap elements ahead of the
+			// in-order emission frontier.
+			if cfg.OrderPreserve && sg.repl > 1 && i >= bufCap && emit[s][i-bufCap] > start {
+				start = emit[s][i-bufCap]
+			}
+			service := sg.time + hashJitter(s, i, sg.jitter) + handoff
+			finish[s][i] = start + service
+			busy[s] += service
+			e := finish[s][i]
+			if cfg.OrderPreserve && sg.repl > 1 {
+				if e < maxSoFar {
+					e = maxSoFar
+				}
+			}
+			if e > maxSoFar {
+				maxSoFar = e
+			}
+			emit[s][i] = e
+		}
+	}
+	last := len(segs) - 1
+	makespan := emit[last][n-1] + startup*uint64(workers)
+
+	// Core cap: the plan cannot beat perfect work division, and extra
+	// workers beyond the core count cannot add parallelism.
+	var totalWork uint64
+	for _, b := range busy {
+		totalWork += b
+	}
+	if lb := totalWork/uint64(cfg.Cores) + startup; lb > makespan {
+		makespan = lb
+	}
+
+	res.Makespan = makespan
+	res.Workers = workers
+	best := 0
+	for s := range busy {
+		if busy[s] > busy[best] {
+			best = s
+		}
+	}
+	res.BottleneckStage = best
+	if makespan > 0 {
+		res.Speedup = float64(seqTime) / float64(makespan)
+	}
+	return res
+}
+
+// Point is one sweep sample.
+type Point struct {
+	X       int
+	Speedup float64
+}
+
+// CoreSweep evaluates the plan across machine sizes.
+func CoreSweep(stages []Stage, base Config, cores []int) []Point {
+	var out []Point
+	for _, c := range cores {
+		cfg := base
+		cfg.Cores = c
+		out = append(out, Point{X: c, Speedup: Simulate(stages, cfg).Speedup})
+	}
+	return out
+}
+
+// ReplicationSweep evaluates replication degrees for one stage.
+func ReplicationSweep(stages []Stage, base Config, stage int, degrees []int) []Point {
+	var out []Point
+	for _, d := range degrees {
+		cfg := base
+		cfg.Replication = make([]int, len(stages))
+		for i := range cfg.Replication {
+			cfg.Replication[i] = 1
+			if base.Replication != nil && i < len(base.Replication) {
+				cfg.Replication[i] = base.Replication[i]
+			}
+		}
+		cfg.Replication[stage] = d
+		out = append(out, Point{X: d, Speedup: Simulate(stages, cfg).Speedup})
+	}
+	return out
+}
+
+// StreamLengthSweep evaluates stream lengths, exposing the
+// SequentialExecution crossover (short streams lose to threading
+// overhead).
+func StreamLengthSweep(stages []Stage, base Config, lengths []int) []Point {
+	var out []Point
+	for _, n := range lengths {
+		cfg := base
+		cfg.Items = n
+		out = append(out, Point{X: n, Speedup: Simulate(stages, cfg).Speedup})
+	}
+	return out
+}
+
+// String formats a point list as a compact series.
+func FormatPoints(name string, pts []Point) string {
+	s := name + ":"
+	for _, p := range pts {
+		s += fmt.Sprintf(" (%d, %.2fx)", p.X, p.Speedup)
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// videoStages models the paper's Fig. 3 pipeline with a dominant oil
+// filter.
+func videoStages() []Stage {
+	return []Stage{
+		{Name: "crop", Time: 200, Replicable: true},
+		{Name: "histo", Time: 240, Replicable: true},
+		{Name: "oil", Time: 1600, Jitter: 300, Replicable: true},
+		{Name: "conv", Time: 180, Replicable: true},
+		{Name: "add", Time: 60, Replicable: false},
+	}
+}
+
+func baseCfg() Config {
+	return Config{Cores: 8, Items: 256}
+}
+
+func TestSequentialBaseline(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Sequential = true
+	r := Simulate(videoStages(), cfg)
+	if r.Speedup != 1.0 {
+		t.Fatalf("sequential speedup = %.2f, want 1.0", r.Speedup)
+	}
+	if r.Workers != 0 {
+		t.Fatalf("sequential run spawned %d workers", r.Workers)
+	}
+}
+
+func TestPipelineBeatsSequential(t *testing.T) {
+	r := Simulate(videoStages(), baseCfg())
+	if r.Speedup <= 1.1 {
+		t.Fatalf("pipeline speedup = %.2f, want > 1.1", r.Speedup)
+	}
+}
+
+func TestReplicationDoublesHotStageThroughput(t *testing.T) {
+	// Paper §2.2: "A stage replication value of two effectively
+	// doubles the frequency at which this stage is capable of
+	// receiving and producing elements."
+	stages := videoStages()
+	cfg := baseCfg()
+	r1 := Simulate(stages, cfg)
+	cfg.Replication = []int{1, 1, 2, 1, 1}
+	r2 := Simulate(stages, cfg)
+	cfg.Replication = []int{1, 1, 4, 1, 1}
+	r4 := Simulate(stages, cfg)
+	if r2.Speedup < r1.Speedup*1.5 {
+		t.Fatalf("replication 2 speedup %.2f vs %.2f: expected near-doubling", r2.Speedup, r1.Speedup)
+	}
+	if r4.Speedup <= r2.Speedup {
+		t.Fatalf("replication 4 (%.2f) should beat 2 (%.2f) while oil dominates", r4.Speedup, r2.Speedup)
+	}
+}
+
+func TestReplicationIgnoredForNonReplicableStage(t *testing.T) {
+	stages := videoStages()
+	cfg := baseCfg()
+	base := Simulate(stages, cfg)
+	cfg.Replication = []int{1, 1, 1, 1, 8} // "add" is not replicable
+	r := Simulate(stages, cfg)
+	if r.Makespan != base.Makespan {
+		t.Fatalf("non-replicable stage replication changed makespan: %d vs %d", r.Makespan, base.Makespan)
+	}
+}
+
+func TestFusionHelpsCheapStages(t *testing.T) {
+	// Two cheap adjacent stages dominated by hand-off overhead.
+	stages := []Stage{
+		{Name: "a", Time: 10, Replicable: true},
+		{Name: "b", Time: 12, Replicable: true},
+		{Name: "heavy", Time: 400, Replicable: false},
+	}
+	cfg := Config{Cores: 1, Items: 400, HandoffOverhead: 50}
+	unfused := Simulate(stages, cfg)
+	cfg.Fuse = []bool{true, false}
+	fused := Simulate(stages, cfg)
+	if fused.Makespan >= unfused.Makespan {
+		t.Fatalf("fusing cheap stages must help: fused %d vs %d", fused.Makespan, unfused.Makespan)
+	}
+}
+
+func TestFusedSegmentInheritsNonReplicability(t *testing.T) {
+	stages := []Stage{
+		{Name: "a", Time: 100, Replicable: true},
+		{Name: "b", Time: 100, Replicable: false},
+	}
+	cfg := Config{Cores: 8, Items: 128, Fuse: []bool{true}, Replication: []int{8, 8}}
+	r := Simulate(stages, cfg)
+	if r.Workers != 1 {
+		t.Fatalf("fused segment with a non-replicable member must stay single-worker, got %d", r.Workers)
+	}
+}
+
+func TestSequentialFallbackWinsForShortStreams(t *testing.T) {
+	// Paper §2.2 SequentialExecution: short streams cannot amortize
+	// threading overhead.
+	stages := videoStages()
+	short := Config{Cores: 8, Items: 2}
+	par := Simulate(stages, short)
+	if par.Speedup >= 1.0 {
+		t.Fatalf("2-item stream should lose to sequential, got %.2fx", par.Speedup)
+	}
+	long := Config{Cores: 8, Items: 512}
+	if Simulate(stages, long).Speedup <= 1.0 {
+		t.Fatal("long stream must win")
+	}
+}
+
+func TestStreamLengthSweepHasCrossover(t *testing.T) {
+	pts := StreamLengthSweep(videoStages(),
+		Config{Cores: 8, Replication: []int{1, 1, 4, 1, 1}},
+		[]int{1, 2, 4, 8, 16, 64, 256, 1024})
+	if pts[0].Speedup >= 1.0 {
+		t.Fatalf("shortest stream should lose: %.2f", pts[0].Speedup)
+	}
+	last := pts[len(pts)-1]
+	if last.Speedup <= 1.5 {
+		t.Fatalf("longest stream should win clearly: %.2f", last.Speedup)
+	}
+	// Monotone non-decreasing within tolerance.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup < pts[i-1].Speedup*0.95 {
+			t.Fatalf("speedup dropped along stream length: %+v", pts)
+		}
+	}
+}
+
+func TestCoreSweepSaturates(t *testing.T) {
+	stages := videoStages()
+	cfg := baseCfg()
+	cfg.Replication = []int{1, 1, 6, 1, 1}
+	pts := CoreSweep(stages, cfg, []int{1, 2, 4, 8, 16})
+	if pts[0].Speedup > 1.05 {
+		t.Fatalf("one core cannot speed up: %.2f", pts[0].Speedup)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup+1e-9 < pts[i-1].Speedup {
+			t.Fatalf("speedup must be monotone in cores: %+v", pts)
+		}
+	}
+	// Saturation: 8 -> 16 cores gains less than 2 -> 4.
+	gainLow := pts[2].Speedup - pts[1].Speedup
+	gainHigh := pts[4].Speedup - pts[3].Speedup
+	if gainHigh > gainLow {
+		t.Fatalf("expected saturation: low gain %.2f, high gain %.2f", gainLow, gainHigh)
+	}
+}
+
+func TestOrderPreservationCostsWithJitter(t *testing.T) {
+	stages := []Stage{
+		{Name: "hot", Time: 400, Jitter: 350, Replicable: true},
+		{Name: "sink", Time: 40, Replicable: false},
+	}
+	cfg := Config{Cores: 8, Items: 400, Replication: []int{4, 1}, BufCap: 4}
+	unordered := Simulate(stages, cfg)
+	cfg.OrderPreserve = true
+	ordered := Simulate(stages, cfg)
+	if ordered.Makespan <= unordered.Makespan {
+		t.Fatalf("order restoration must cost throughput under jitter with bounded buffers: %d vs %d",
+			ordered.Makespan, unordered.Makespan)
+	}
+}
+
+func TestBottleneckIdentifiesHotStage(t *testing.T) {
+	r := Simulate(videoStages(), baseCfg())
+	if r.BottleneckStage != 2 {
+		t.Fatalf("bottleneck = %d, want 2 (oil)", r.BottleneckStage)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(videoStages(), baseCfg())
+	b := Simulate(videoStages(), baseCfg())
+	if a != b {
+		t.Fatal("model must be deterministic")
+	}
+}
+
+func TestSpeedupNeverExceedsCores(t *testing.T) {
+	f := func(c uint8, items uint16, r uint8) bool {
+		cores := 1 + int(c)%16
+		cfg := Config{
+			Cores:       cores,
+			Items:       1 + int(items)%600,
+			Replication: []int{1, 1, 1 + int(r)%8, 1, 1},
+		}
+		res := Simulate(videoStages(), cfg)
+		return res.Speedup <= float64(cores)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatPoints(t *testing.T) {
+	s := FormatPoints("cores", []Point{{1, 1.0}, {2, 1.9}})
+	if s != "cores: (1, 1.00x) (2, 1.90x)" {
+		t.Fatalf("FormatPoints = %q", s)
+	}
+}

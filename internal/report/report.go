@@ -1,0 +1,200 @@
+// Package report renders the per-phase artifacts of the process model
+// for humans — requirement R2 of paper §3: "visualize the phase
+// artifacts after each step". The Visual Studio overlays become text
+// and Graphviz DOT renderings:
+//
+//   - CFG / call graph as DOT (ParaGraph- and HTGviz-style views the
+//     related-work section compares against)
+//   - the semantic model as a per-loop dependence summary
+//   - detection reports with per-rule reasoning
+//   - the pipeline stage graph of a candidate, with runtime shares
+//     (the color-overlay of paper Fig. 4b)
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"patty/internal/cfg"
+	"patty/internal/model"
+	"patty/internal/pattern"
+	"patty/internal/source"
+)
+
+// CFGDot renders a function's control flow graph as Graphviz DOT.
+func CFGDot(g *cfg.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", g.Fn.Name)
+	for _, blk := range g.Blocks {
+		label := fmt.Sprintf("b%d (%s)", blk.ID, blk.Kind)
+		if n := len(blk.Stmts); n > 0 {
+			label += fmt.Sprintf("\\n%d stmt(s)", n)
+		}
+		shape := ""
+		switch blk.Kind {
+		case cfg.EntryBlock, cfg.ExitBlock:
+			shape = ", shape=ellipse"
+		case cfg.CondBlock:
+			shape = ", shape=diamond"
+		}
+		fmt.Fprintf(&b, "  b%d [label=\"%s\"%s];\n", blk.ID, label, shape)
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, "  b%d -> b%d;\n", blk.ID, s.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// CallGraphDot renders the program call graph as Graphviz DOT, with
+// impure functions (caller-visible side effects) highlighted —
+// the information ParaGraph lacks per §6.
+func CallGraphDot(m *model.Model) string {
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	names := make([]string, 0, len(m.CG.Summaries))
+	for name := range m.CG.Summaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := m.CG.Summaries[name]
+		attr := ""
+		if !s.Pure() {
+			attr = ", style=filled, fillcolor=lightsalmon"
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\"%s];\n", name, name, attr)
+	}
+	for _, name := range names {
+		for _, callee := range m.CG.Summaries[name].Callees {
+			fmt.Fprintf(&b, "  %q -> %q;\n", name, callee)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ModelSummary renders the semantic model: per function, each loop
+// with its static and dynamic dependence verdicts — the cross-product
+// view of paper §2.1.
+func ModelSummary(m *model.Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "semantic model: %d function(s)", len(m.Funcs))
+	if m.Profiled {
+		fmt.Fprintf(&b, ", profiled (%d virtual ticks total)", m.TotalTime)
+	} else {
+		b.WriteString(", static only")
+	}
+	b.WriteString("\n")
+	for _, lm := range m.AllLoops() {
+		pos := m.Prog.Position(lm.Loop.Pos())
+		fmt.Fprintf(&b, "\nloop %s #%d at %s", lm.Fn.Name, lm.LoopID, pos)
+		if lm.Nested {
+			b.WriteString(" (nested)")
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "  body: %d top-level statement(s)\n", len(lm.Static.Body))
+		if iv := lm.Static.IndexVar; iv != nil {
+			fmt.Fprintf(&b, "  induction variable: %s\n", iv.Name)
+		}
+		if n := len(lm.Static.Control); n > 0 {
+			fmt.Fprintf(&b, "  control: %d stream-breaking statement(s) (PLCD)\n", n)
+		}
+		for _, r := range lm.Static.Reductions {
+			fmt.Fprintf(&b, "  reduction: %s (%s)\n", r.Sym.Name, r.Op)
+		}
+		static := lm.Static.CarriedDeps()
+		fmt.Fprintf(&b, "  static carried dependences: %d\n", len(static))
+		for _, d := range static {
+			fmt.Fprintf(&b, "    stmt %d -> stmt %d on %s (%s, %s)\n", d.From, d.To, d.Sym.Name, d.Kind, d.Reason)
+		}
+		if lm.Dynamic != nil {
+			fmt.Fprintf(&b, "  dynamic: %d iteration(s), %d observed carried pair(s), hot share %.1f%%\n",
+				lm.Dynamic.Iters, len(lm.Dynamic.Carried), lm.HotShare*100)
+			eff := lm.CarriedDeps()
+			fmt.Fprintf(&b, "  effective (optimistic) carried dependences: %d\n", len(eff))
+		}
+	}
+	return b.String()
+}
+
+// shareBar renders a proportional ASCII bar for runtime shares.
+func shareBar(share float64, width int) string {
+	n := int(share*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// CandidateDetail renders one detection candidate with its stage
+// structure and runtime distribution — the text analogue of the visual
+// pattern overlay (paper Fig. 4b).
+func CandidateDetail(prog *source.Program, c pattern.Candidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s candidate at %s (score %.2f)\n", c.Kind, c.Pos, c.Score)
+	fmt.Fprintf(&b, "TADL: %s\n", c.Arch)
+	for _, st := range c.Stages {
+		marks := ""
+		if st.Replicable {
+			marks += " replicable"
+		}
+		if st.ReplicationSuggested {
+			marks += " [replicate]"
+		}
+		fmt.Fprintf(&b, "  stage %-3s %s %5.1f%%%s\n", st.Label, shareBar(st.Share, 24), st.Share*100, marks)
+		fn := prog.Func(c.Fn)
+		for _, id := range st.Stmts {
+			if fn != nil {
+				fmt.Fprintf(&b, "        stmt %-3d %s\n", id, prog.Position(fn.Stmt(id).Pos()))
+			}
+		}
+	}
+	for _, r := range c.Reasons {
+		fmt.Fprintf(&b, "  - %s\n", r)
+	}
+	return b.String()
+}
+
+// DetectionReport renders the full phase-2 artifact.
+func DetectionReport(prog *source.Program, rep *pattern.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== detection report: %d candidate(s), %d rejection(s) ===\n\n",
+		len(rep.Candidates), len(rep.Rejected))
+	for _, c := range rep.Candidates {
+		b.WriteString(CandidateDetail(prog, c))
+		b.WriteString("\n")
+	}
+	if len(rep.Rejected) > 0 {
+		b.WriteString("rejected locations:\n")
+		for _, r := range rep.Rejected {
+			fmt.Fprintf(&b, "  %-24s %s\n", r.Pos, r.Reason)
+		}
+	}
+	return b.String()
+}
+
+// StageGraphDot renders a pipeline candidate's stage graph as DOT,
+// with replication-suggested stages highlighted.
+func StageGraphDot(c pattern.Candidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph stages {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	b.WriteString("  gen [label=\"StreamGenerator\", shape=ellipse];\n")
+	prev := "gen"
+	for _, st := range c.Stages {
+		attr := ""
+		if st.ReplicationSuggested {
+			attr = ", style=filled, fillcolor=palegreen, peripheries=2"
+		} else if !st.Replicable {
+			attr = ", style=filled, fillcolor=lightsalmon"
+		}
+		fmt.Fprintf(&b, "  %s [label=\"%s\\n%.0f%%\"%s];\n", st.Label, st.Label, st.Share*100, attr)
+		fmt.Fprintf(&b, "  %s -> %s;\n", prev, st.Label)
+		prev = st.Label
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"patty/internal/cfg"
+	"patty/internal/corpus"
+	"patty/internal/model"
+	"patty/internal/pattern"
+	"patty/internal/source"
+)
+
+const src = `package p
+type Stream struct{ out []int }
+func (s *Stream) Add(v int) { s.out = append(s.out, v) }
+func heavy(x int) int {
+	v := 0
+	for k := 0; k < 60; k++ {
+		v += k * x
+	}
+	return v
+}
+func Process(in []int, s *Stream) {
+	for _, x := range in {
+		h := heavy(x)
+		s.Add(h)
+	}
+}
+func Sum(a []int) int {
+	t := 0
+	for i := 0; i < len(a); i++ {
+		t += a[i]
+	}
+	return t
+}
+`
+
+func buildAll(t *testing.T) (*source.Program, *model.Model, *pattern.Report) {
+	t.Helper()
+	prog, err := source.ParseFile("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.Build(prog)
+	rep := pattern.Detect(m, pattern.Options{SkipNested: true})
+	return prog, m, rep
+}
+
+func TestCFGDot(t *testing.T) {
+	prog, _, _ := buildAll(t)
+	dot := CFGDot(cfg.Build(prog.Func("Sum")))
+	for _, want := range []string{"digraph", "entry", "exit", "diamond", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("CFG dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCallGraphDot(t *testing.T) {
+	_, m, _ := buildAll(t)
+	dot := CallGraphDot(m)
+	for _, want := range []string{`"Process" -> "heavy"`, `"Process" -> "Stream.Add"`, "lightsalmon"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("callgraph dot missing %q:\n%s", want, dot)
+		}
+	}
+	// heavy is pure: must not be highlighted.
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, `"heavy" [`) && strings.Contains(line, "lightsalmon") {
+			t.Errorf("pure function highlighted: %s", line)
+		}
+	}
+}
+
+func TestModelSummaryStatic(t *testing.T) {
+	_, m, _ := buildAll(t)
+	s := ModelSummary(m)
+	for _, want := range []string{"static only", "loop Process", "loop Sum", "reduction: t", "carried dependences"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestModelSummaryDynamic(t *testing.T) {
+	p := corpus.Get("video")
+	m, err := p.BuildModel(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ModelSummary(m)
+	for _, want := range []string{"profiled", "dynamic:", "hot share", "effective (optimistic)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestDetectionReportAndStageGraph(t *testing.T) {
+	prog, _, rep := buildAll(t)
+	out := DetectionReport(prog, rep)
+	for _, want := range []string{"detection report", "candidate", "TADL:", "stage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	var pipeCand *pattern.Candidate
+	for i := range rep.Candidates {
+		if rep.Candidates[i].Kind == pattern.PipelineKind {
+			pipeCand = &rep.Candidates[i]
+		}
+	}
+	if pipeCand == nil {
+		t.Fatalf("no pipeline candidate in %+v", rep.Candidates)
+	}
+	dot := StageGraphDot(*pipeCand)
+	for _, want := range []string{"StreamGenerator", "gen -> A", "A -> B"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("stage graph missing %q:\n%s", want, dot)
+		}
+	}
+	// The ordered Add stage is not replicable: highlighted salmon.
+	if !strings.Contains(dot, "lightsalmon") {
+		t.Errorf("non-replicable stage not highlighted:\n%s", dot)
+	}
+}
+
+func TestShareBar(t *testing.T) {
+	if shareBar(0, 10) != ".........." {
+		t.Fatal("zero share bar")
+	}
+	if shareBar(1, 10) != "##########" {
+		t.Fatal("full share bar")
+	}
+	if shareBar(2, 10) != "##########" {
+		t.Fatal("overflow share bar must clamp")
+	}
+	if got := shareBar(0.5, 10); got != "#####....." {
+		t.Fatalf("half bar = %q", got)
+	}
+}

@@ -1,0 +1,261 @@
+package sched
+
+import "fmt"
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opLock
+	opUnlock
+	opSend
+	opRecv
+	opClose
+	opYield
+	opDone
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opLock:
+		return "lock"
+	case opUnlock:
+		return "unlock"
+	case opSend:
+		return "send"
+	case opRecv:
+		return "recv"
+	case opClose:
+		return "close"
+	case opYield:
+		return "yield"
+	case opDone:
+		return "done"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+type request struct {
+	op  opKind
+	v   *Var
+	m   *Mutex
+	ch  *Chan
+	val int
+}
+
+type response struct {
+	val   int
+	ok    bool
+	abort bool
+}
+
+type message struct {
+	tid int
+	req request
+}
+
+// thread is the runtime representation of one spawned thread.
+type thread struct {
+	id    int
+	name  string
+	grant chan response
+	vc    vclock
+	done  bool
+}
+
+// abortPanic unwinds a thread whose interleaving was abandoned
+// (deadlock, first-bug stop, or oracle abort).
+type abortPanic struct{}
+
+// execution is the per-run engine state.
+type execution struct {
+	world   *World
+	threads []*thread
+	reqs    chan message
+	pending map[int]*request
+
+	// race bookkeeping (dedup handled by the explorer)
+	races []Race
+	// failure of this run, if any
+	failure *Failure
+	// the schedule so far: granted thread ids in order
+	trace []int
+	// nondeterminism detection
+	nondet bool
+}
+
+func newExecution(w *World) *execution {
+	ex := &execution{
+		world:   w,
+		reqs:    make(chan message),
+		pending: make(map[int]*request),
+	}
+	w.ex = ex
+	return ex
+}
+
+// start launches the thread goroutines.
+func (ex *execution) start() {
+	for i, spec := range ex.world.threads {
+		t := &thread{
+			id:    i,
+			name:  spec.name,
+			grant: make(chan response),
+			vc:    newClock(len(ex.world.threads)),
+		}
+		t.vc[i] = 1
+		ex.threads = append(ex.threads, t)
+	}
+	for i, spec := range ex.world.threads {
+		t := ex.threads[i]
+		fn := spec.fn
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortPanic); !ok {
+						panic(r)
+					}
+				}
+				ex.reqs <- message{tid: t.id, req: request{op: opDone}}
+			}()
+			fn(&Context{ex: ex, t: t})
+		}()
+	}
+}
+
+// yield is the thread side of the scheduling protocol: post the
+// request, wait for the grant, return the scheduler's response.
+func (c *Context) yield(req request) response {
+	c.ex.reqs <- message{tid: c.t.id, req: req}
+	resp := <-c.t.grant
+	if resp.abort {
+		panic(abortPanic{})
+	}
+	return resp
+}
+
+// enabled reports whether t's pending request can execute now.
+func (ex *execution) enabled(req *request, tid int) bool {
+	switch req.op {
+	case opLock:
+		return req.m.holder == -1
+	case opSend:
+		return req.ch.closed || len(req.ch.buf) < req.ch.cap
+	case opRecv:
+		return len(req.ch.buf) > 0 || req.ch.closed
+	default:
+		return true
+	}
+}
+
+// apply executes t's pending request against the shared state, runs
+// the race detector, and builds the response. A response with
+// abort=true also records the failure that caused it.
+func (ex *execution) apply(t *thread, req *request) response {
+	switch req.op {
+	case opYield:
+		return response{}
+	case opRead:
+		ex.checkRead(t, req.v)
+		req.v.readVC = req.v.readVC.copyOf(len(ex.threads))
+		req.v.readVC[t.id] = t.vc.at(t.id)
+		return response{val: req.v.value}
+	case opWrite:
+		ex.checkWrite(t, req.v)
+		req.v.writeVC = req.v.writeVC.copyOf(len(ex.threads))
+		req.v.writeVC[t.id] = t.vc.at(t.id)
+		req.v.value = req.val
+		return response{}
+	case opLock:
+		req.m.holder = t.id
+		t.vc = t.vc.join(req.m.vc)
+		return response{}
+	case opUnlock:
+		if req.m.holder != t.id {
+			ex.fail("thread %d (%s) unlocked mutex %q held by %d", t.id, t.name, req.m.name, req.m.holder)
+			return response{abort: true}
+		}
+		req.m.holder = -1
+		req.m.vc = req.m.vc.copyOf(len(ex.threads)).join(t.vc)
+		t.vc = t.vc.tick(t.id)
+		return response{}
+	case opSend:
+		if req.ch.closed {
+			ex.fail("thread %d (%s) sent on closed channel %q", t.id, t.name, req.ch.name)
+			return response{abort: true}
+		}
+		req.ch.buf = append(req.ch.buf, chanMsg{val: req.val, vc: t.vc.copyOf(len(ex.threads))})
+		// Order this send after the receives that freed buffer space.
+		t.vc = t.vc.join(req.ch.spaceVC)
+		t.vc = t.vc.tick(t.id)
+		return response{}
+	case opRecv:
+		if len(req.ch.buf) == 0 {
+			// enabled only because the channel is closed
+			return response{ok: false}
+		}
+		msg := req.ch.buf[0]
+		req.ch.buf = req.ch.buf[1:]
+		t.vc = t.vc.join(msg.vc)
+		req.ch.spaceVC = req.ch.spaceVC.copyOf(len(ex.threads)).join(t.vc)
+		t.vc = t.vc.tick(t.id)
+		return response{val: msg.val, ok: true}
+	case opClose:
+		if req.ch.closed {
+			ex.fail("thread %d (%s) closed channel %q twice", t.id, t.name, req.ch.name)
+			return response{abort: true}
+		}
+		req.ch.closed = true
+		return response{}
+	default:
+		panic("sched: unknown op " + req.op.String())
+	}
+}
+
+func (ex *execution) fail(format string, args ...any) {
+	if ex.failure == nil {
+		ex.failure = &Failure{
+			Msg:      fmt.Sprintf(format, args...),
+			Schedule: append([]int(nil), ex.trace...),
+		}
+	}
+}
+
+// checkRead flags a write-read race: the last write to v by another
+// thread is not ordered before this read.
+func (ex *execution) checkRead(t *thread, v *Var) {
+	for u := range v.writeVC {
+		if u != t.id && v.writeVC[u] > t.vc.at(u) {
+			ex.race(v, "write-read", u, t.id)
+		}
+	}
+}
+
+// checkWrite flags write-write and read-write races.
+func (ex *execution) checkWrite(t *thread, v *Var) {
+	for u := range v.writeVC {
+		if u != t.id && v.writeVC[u] > t.vc.at(u) {
+			ex.race(v, "write-write", u, t.id)
+		}
+	}
+	for u := range v.readVC {
+		if u != t.id && v.readVC[u] > t.vc.at(u) {
+			ex.race(v, "read-write", u, t.id)
+		}
+	}
+}
+
+func (ex *execution) race(v *Var, kind string, a, b int) {
+	ex.races = append(ex.races, Race{
+		Var:      v.name,
+		Kind:     kind,
+		Threads:  [2]int{a, b},
+		Schedule: append([]int(nil), ex.trace...),
+	})
+}

@@ -1,0 +1,422 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// MaxSchedules bounds the number of interleavings executed.
+	// 0 means the default of 20000.
+	MaxSchedules int
+	// PreemptionBound limits the number of preemptive context
+	// switches per interleaving (CHESS's iterative context bounding).
+	// Negative means unbounded.
+	PreemptionBound int
+	// StopAtFirstBug ends the exploration as soon as any race,
+	// deadlock or failure is recorded.
+	StopAtFirstBug bool
+	// RandomWalks switches from systematic DFS to sampling: that many
+	// schedules are drawn by choosing uniformly among enabled threads
+	// at every step (a PCT-style randomized search for spaces too
+	// large to enumerate). Exhausted is never reported in this mode.
+	RandomWalks int
+	// Seed makes random walks reproducible (0 means seed 1).
+	Seed int64
+}
+
+// DefaultMaxSchedules is the schedule budget used when
+// Options.MaxSchedules is zero.
+const DefaultMaxSchedules = 20000
+
+// Race is one detected data race, deduplicated by variable, kind and
+// thread pair across interleavings.
+type Race struct {
+	Var      string
+	Kind     string // "write-write", "read-write" or "write-read"
+	Threads  [2]int // offending thread ids (prior access first)
+	Schedule []int  // granted-thread trace of the exhibiting interleaving
+}
+
+// String formats the race for reports.
+func (r Race) String() string {
+	return fmt.Sprintf("%s race on %q between threads %d and %d", r.Kind, r.Var, r.Threads[0], r.Threads[1])
+}
+
+// Failure is a non-race bug: a deadlock, an oracle violation, or an
+// illegal operation (double close, unlock of unheld mutex, send on
+// closed channel).
+type Failure struct {
+	Msg      string
+	Schedule []int
+}
+
+// Result aggregates an exploration.
+type Result struct {
+	// Schedules is the number of interleavings executed.
+	Schedules int
+	// Exhausted reports that the entire (bounded) schedule space was
+	// covered.
+	Exhausted bool
+	// Truncated reports that MaxSchedules stopped the search early.
+	Truncated bool
+	// Races are the distinct data races found.
+	Races []Race
+	// Deadlocks are the distinct deadlock states found.
+	Deadlocks []Failure
+	// Failures are oracle violations and illegal operations.
+	Failures []Failure
+	// Nondeterministic reports that replay diverged, i.e. the program
+	// under test has nondeterminism outside scheduler control.
+	Nondeterministic bool
+}
+
+// Buggy reports whether any race, deadlock or failure was found.
+func (r *Result) Buggy() bool {
+	return len(r.Races) > 0 || len(r.Deadlocks) > 0 || len(r.Failures) > 0
+}
+
+// decision is one branch point of the schedule tree.
+type decision struct {
+	enabled []int // candidate thread ids, in deterministic order
+	chosen  int   // index into enabled currently being explored
+	step    int   // global step index at which the decision occurred
+}
+
+// opSig fingerprints one executed operation for replay validation: a
+// deterministic program must execute identical operations along a
+// replayed decision prefix.
+type opSig struct {
+	tid    int
+	op     opKind
+	target string
+	val    int
+}
+
+func sigOf(tid int, req *request) opSig {
+	s := opSig{tid: tid, op: req.op, val: req.val}
+	switch {
+	case req.v != nil:
+		s.target = req.v.name
+	case req.m != nil:
+		s.target = req.m.name
+	case req.ch != nil:
+		s.target = req.ch.name
+	}
+	return s
+}
+
+type explorer struct {
+	opt   Options
+	rng   *rand.Rand // non-nil: random-walk sampling instead of DFS
+	stack []decision
+	// prevOps is the operation log of the previous run; steps below
+	// replayLimit are a replayed prefix and must match it exactly.
+	prevOps     []opSig
+	replayLimit int
+}
+
+// Explore systematically executes body under every schedule (subject
+// to Options) and aggregates all bugs found. body must be
+// deterministic apart from scheduling: it is re-invoked with a fresh
+// World for every interleaving.
+func Explore(opt Options, body func(*World)) Result {
+	if opt.MaxSchedules <= 0 {
+		opt.MaxSchedules = DefaultMaxSchedules
+	}
+	e := &explorer{opt: opt}
+	if opt.RandomWalks > 0 {
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		e.rng = rand.New(rand.NewSource(seed))
+	}
+	var res Result
+	raceSeen := make(map[string]bool)
+	failSeen := make(map[string]bool)
+	deadSeen := make(map[string]bool)
+	for {
+		ex := e.runOnce(body)
+		res.Schedules++
+		for _, rc := range ex.races {
+			key := rc.Var + "|" + rc.Kind + "|" + fmt.Sprint(rc.Threads)
+			if !raceSeen[key] {
+				raceSeen[key] = true
+				res.Races = append(res.Races, rc)
+			}
+		}
+		if ex.failure != nil {
+			if ex.deadlock {
+				if !deadSeen[ex.failure.Msg] {
+					deadSeen[ex.failure.Msg] = true
+					res.Deadlocks = append(res.Deadlocks, *ex.failure)
+				}
+			} else if !failSeen[ex.failure.Msg] {
+				failSeen[ex.failure.Msg] = true
+				res.Failures = append(res.Failures, *ex.failure)
+			}
+		}
+		if ex.nondet {
+			res.Nondeterministic = true
+			return res
+		}
+		if opt.StopAtFirstBug && res.Buggy() {
+			return res
+		}
+		if res.Schedules >= opt.MaxSchedules {
+			res.Truncated = true
+			return res
+		}
+		if e.rng != nil {
+			if res.Schedules >= opt.RandomWalks {
+				return res // sampling cannot prove exhaustion
+			}
+			continue
+		}
+		if !e.advance() {
+			res.Exhausted = true
+			return res
+		}
+	}
+}
+
+// advance moves the decision stack to the next unexplored schedule,
+// reporting false when the space is exhausted.
+func (e *explorer) advance() bool {
+	for len(e.stack) > 0 {
+		d := &e.stack[len(e.stack)-1]
+		d.chosen++
+		if d.chosen < len(d.enabled) {
+			e.replayLimit = d.step
+			return true
+		}
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	return false
+}
+
+// runResult is the per-run view the explorer consumes.
+type runExec struct {
+	*execution
+	deadlock bool
+	nondet   bool
+}
+
+func (e *explorer) runOnce(body func(*World)) runExec {
+	w := &World{}
+	body(w)
+	ex := newExecution(w)
+	ex.start()
+	rr := runExec{execution: ex}
+
+	n := len(ex.threads)
+	live := n
+	for collected := 0; collected < n; collected++ {
+		msg := <-ex.reqs
+		if msg.req.op == opDone {
+			ex.threads[msg.tid].done = true
+			live--
+		} else {
+			req := msg.req
+			ex.pending[msg.tid] = &req
+		}
+	}
+
+	branch := 0
+	step := 0
+	lastTid := -1
+	preemptions := 0
+	aborted := false
+	var oplog []opSig
+
+	for live > 0 {
+		enabled := ex.enabledSet()
+		if len(enabled) == 0 {
+			rr.deadlock = true
+			ex.fail("deadlock: %s", ex.blockedSummary())
+			ex.abortAll(&live)
+			aborted = true
+			break
+		}
+		cands := enabled
+		if e.opt.PreemptionBound >= 0 && preemptions >= e.opt.PreemptionBound && containsInt(enabled, lastTid) {
+			cands = []int{lastTid}
+		}
+		cands = orderCands(cands, lastTid)
+
+		var chosen int
+		if e.rng != nil {
+			chosen = cands[e.rng.Intn(len(cands))]
+		} else if len(cands) == 1 {
+			chosen = cands[0]
+		} else {
+			if branch < len(e.stack) {
+				d := e.stack[branch]
+				if !equalInts(d.enabled, cands) {
+					rr.nondet = true
+					ex.fail("nondeterministic replay: enabled set %v, expected %v", cands, d.enabled)
+					ex.abortAll(&live)
+					aborted = true
+					break
+				}
+				chosen = cands[d.chosen]
+			} else {
+				e.stack = append(e.stack, decision{enabled: append([]int(nil), cands...), chosen: 0, step: step})
+				chosen = cands[0]
+			}
+			branch++
+		}
+		if lastTid != -1 && chosen != lastTid && containsInt(enabled, lastTid) {
+			preemptions++
+		}
+
+		t := ex.threads[chosen]
+		req := ex.pending[chosen]
+		delete(ex.pending, chosen)
+		ex.trace = append(ex.trace, chosen)
+		sig := sigOf(chosen, req)
+		if step < e.replayLimit && (step >= len(e.prevOps) || e.prevOps[step] != sig) {
+			rr.nondet = true
+			ex.fail("nondeterministic replay at step %d: executed %+v", step, sig)
+			// Finish this thread's hand-off, then unwind everything.
+			t.grant <- response{abort: true}
+			<-ex.reqs
+			t.done = true
+			live--
+			ex.abortAll(&live)
+			aborted = true
+			break
+		}
+		oplog = append(oplog, sig)
+		step++
+		resp := ex.apply(t, req)
+		t.grant <- resp
+		if resp.abort {
+			<-ex.reqs // the aborted thread's done message
+			t.done = true
+			live--
+			ex.abortAll(&live)
+			aborted = true
+			break
+		}
+		lastTid = chosen
+
+		msg := <-ex.reqs
+		if msg.req.op == opDone {
+			ex.threads[msg.tid].done = true
+			live--
+		} else {
+			nreq := msg.req
+			ex.pending[msg.tid] = &nreq
+		}
+	}
+
+	// A deterministic program replays the entire decision prefix the
+	// explorer is following; ending a run before the stack is consumed
+	// means the program changed behaviour between runs.
+	if e.rng == nil && !rr.nondet && branch < len(e.stack) {
+		rr.nondet = true
+		ex.fail("nondeterministic replay: run ended after %d branch points, expected %d", branch, len(e.stack))
+	}
+	if !aborted && ex.failure == nil && w.check != nil {
+		if err := w.check(func(v *Var) int { return v.value }); err != nil {
+			ex.fail("oracle: %v", err)
+		}
+	}
+	e.prevOps = oplog
+	return rr
+}
+
+// enabledSet returns the ids of pending threads whose operation can
+// execute, in ascending order.
+func (ex *execution) enabledSet() []int {
+	var out []int
+	for tid := 0; tid < len(ex.threads); tid++ {
+		if req, ok := ex.pending[tid]; ok && ex.enabled(req, tid) {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// blockedSummary describes what every blocked thread is waiting for.
+func (ex *execution) blockedSummary() string {
+	var s string
+	for tid := 0; tid < len(ex.threads); tid++ {
+		req, ok := ex.pending[tid]
+		if !ok {
+			continue
+		}
+		if s != "" {
+			s += "; "
+		}
+		switch req.op {
+		case opLock:
+			s += fmt.Sprintf("thread %d waits for mutex %q (held by %d)", tid, req.m.name, req.m.holder)
+		case opSend:
+			s += fmt.Sprintf("thread %d waits to send on full channel %q", tid, req.ch.name)
+		case opRecv:
+			s += fmt.Sprintf("thread %d waits to receive on empty channel %q", tid, req.ch.name)
+		default:
+			s += fmt.Sprintf("thread %d blocked at %s", tid, req.op)
+		}
+	}
+	return s
+}
+
+// abortAll unwinds every thread that still has a pending request.
+func (ex *execution) abortAll(live *int) {
+	for tid := 0; tid < len(ex.threads); tid++ {
+		if _, ok := ex.pending[tid]; !ok {
+			continue
+		}
+		delete(ex.pending, tid)
+		ex.threads[tid].grant <- response{abort: true}
+		<-ex.reqs // done message
+		ex.threads[tid].done = true
+		*live--
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// orderCands orders candidates deterministically with last (the
+// currently running thread) first, so the first-explored path of every
+// branch is the preemption-free one.
+func orderCands(cands []int, last int) []int {
+	out := append([]int(nil), cands...)
+	sort.Ints(out)
+	if last < 0 {
+		return out
+	}
+	for i, v := range out {
+		if v == last {
+			copy(out[1:i+1], out[:i])
+			out[0] = v
+			break
+		}
+	}
+	return out
+}

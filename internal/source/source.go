@@ -1,0 +1,194 @@
+// Package source loads sequential Go source code into the form the
+// rest of the Patty pipeline consumes: parsed files, the functions
+// they declare, and stable per-function statement identities used to
+// correlate static analysis, dynamic profiles and pattern reports.
+package source
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+)
+
+// Program is a parsed set of source files forming one analysis unit
+// (the paper analyzes one project at a time).
+type Program struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	funcs map[string]*Function
+	names []string
+}
+
+// Function is one declared function or method together with its
+// statement numbering.
+type Function struct {
+	// Name is "Func" for plain functions and "Type.Method" for
+	// methods (pointer receivers use the bare type name too).
+	Name string
+	Decl *ast.FuncDecl
+	File *ast.File
+	Prog *Program
+
+	stmtIDs map[ast.Stmt]int
+	stmts   []ast.Stmt
+}
+
+// ParseSources parses the given filename→content map into a Program.
+func ParseSources(sources map[string]string) (*Program, error) {
+	p := &Program{Fset: token.NewFileSet(), funcs: make(map[string]*Function)}
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		file, err := parser.ParseFile(p.Fset, name, sources[name], parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("source: %w", err)
+		}
+		p.Files = append(p.Files, file)
+	}
+	p.index()
+	return p, nil
+}
+
+// ParseFile parses a single file. src follows go/parser conventions
+// (string, []byte or nil to read filename from disk).
+func ParseFile(filename string, src any) (*Program, error) {
+	p := &Program{Fset: token.NewFileSet(), funcs: make(map[string]*Function)}
+	file, err := parser.ParseFile(p.Fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("source: %w", err)
+	}
+	p.Files = append(p.Files, file)
+	p.index()
+	return p, nil
+}
+
+func (p *Program) index() {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := &Function{
+				Name: FuncName(fd),
+				Decl: fd,
+				File: file,
+				Prog: p,
+			}
+			fn.numberStatements()
+			p.funcs[fn.Name] = fn
+			p.names = append(p.names, fn.Name)
+		}
+	}
+	sort.Strings(p.names)
+}
+
+// FuncName computes the canonical name of a declaration:
+// "Func" or "Type.Method".
+func FuncName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(t.X)
+	default:
+		return "?"
+	}
+}
+
+// Func returns the function with the given canonical name, or nil.
+func (p *Program) Func(name string) *Function { return p.funcs[name] }
+
+// FuncNames returns all function names in sorted order.
+func (p *Program) FuncNames() []string { return append([]string(nil), p.names...) }
+
+// Functions returns all functions in name order.
+func (p *Program) Functions() []*Function {
+	out := make([]*Function, 0, len(p.names))
+	for _, n := range p.names {
+		out = append(out, p.funcs[n])
+	}
+	return out
+}
+
+// Position resolves a token position for reports.
+func (p *Program) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// numberStatements assigns pre-order IDs to every statement in the
+// function body, including nested ones. IDs are stable across analyses
+// because the AST is never mutated in place by the detection phases.
+func (fn *Function) numberStatements() {
+	fn.stmtIDs = make(map[ast.Stmt]int)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if n == fn.Decl.Body {
+			return true // the body block itself is not a numbered statement
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			fn.stmtIDs[s] = len(fn.stmts)
+			fn.stmts = append(fn.stmts, s)
+		}
+		return true
+	})
+}
+
+// StmtID returns the function-local id of s, or -1 if s is not part of
+// this function.
+func (fn *Function) StmtID(s ast.Stmt) int {
+	if id, ok := fn.stmtIDs[s]; ok {
+		return id
+	}
+	return -1
+}
+
+// Stmt returns the statement with the given id, or nil.
+func (fn *Function) Stmt(id int) ast.Stmt {
+	if id < 0 || id >= len(fn.stmts) {
+		return nil
+	}
+	return fn.stmts[id]
+}
+
+// NumStmts returns how many statements the function contains.
+func (fn *Function) NumStmts() int { return len(fn.stmts) }
+
+// Pos returns the position of the function declaration.
+func (fn *Function) Pos() token.Position { return fn.Prog.Position(fn.Decl.Pos()) }
+
+// StmtPos returns the position of statement id.
+func (fn *Function) StmtPos(id int) token.Position {
+	s := fn.Stmt(id)
+	if s == nil {
+		return token.Position{}
+	}
+	return fn.Prog.Position(s.Pos())
+}
+
+// Loops returns the top-level and nested loop statements of the
+// function in pre-order: the raw material of the PLPL rule ("we
+// consider all sequential program loops as a first indication for
+// pipelines").
+func (fn *Function) Loops() []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+		}
+		return true
+	})
+	return loops
+}

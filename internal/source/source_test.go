@@ -1,0 +1,147 @@
+package source
+
+import (
+	"go/ast"
+	"testing"
+)
+
+const sample = `package p
+
+var g int
+
+func Plain(a, b int) int {
+	c := a + b
+	for i := 0; i < 10; i++ {
+		c += i
+	}
+	return c
+}
+
+type T struct{ v int }
+
+func (t *T) Method() int {
+	for _, x := range []int{1, 2} {
+		t.v += x
+	}
+	return t.v
+}
+
+func NoBodyHelper() int { return 1 }
+`
+
+func parse(t *testing.T) *Program {
+	t.Helper()
+	p, err := ParseFile("sample.go", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFuncNames(t *testing.T) {
+	p := parse(t)
+	want := []string{"NoBodyHelper", "Plain", "T.Method"}
+	got := p.FuncNames()
+	if len(got) != len(want) {
+		t.Fatalf("FuncNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FuncNames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFuncLookup(t *testing.T) {
+	p := parse(t)
+	if p.Func("Plain") == nil || p.Func("T.Method") == nil {
+		t.Fatal("missing functions")
+	}
+	if p.Func("Nope") != nil {
+		t.Fatal("unexpected function")
+	}
+	if p.Func("T.Method").Name != "T.Method" {
+		t.Fatalf("method name = %q", p.Func("T.Method").Name)
+	}
+}
+
+func TestStatementNumbering(t *testing.T) {
+	p := parse(t)
+	fn := p.Func("Plain")
+	if fn.NumStmts() == 0 {
+		t.Fatal("no statements numbered")
+	}
+	for i := 0; i < fn.NumStmts(); i++ {
+		s := fn.Stmt(i)
+		if s == nil {
+			t.Fatalf("Stmt(%d) = nil", i)
+		}
+		if fn.StmtID(s) != i {
+			t.Fatalf("StmtID round trip failed at %d", i)
+		}
+	}
+	if fn.Stmt(-1) != nil || fn.Stmt(fn.NumStmts()) != nil {
+		t.Fatal("out-of-range Stmt should be nil")
+	}
+	var foreign ast.Stmt = &ast.EmptyStmt{}
+	if fn.StmtID(foreign) != -1 {
+		t.Fatal("foreign statement should map to -1")
+	}
+}
+
+func TestLoops(t *testing.T) {
+	p := parse(t)
+	if n := len(p.Func("Plain").Loops()); n != 1 {
+		t.Fatalf("Plain has %d loops, want 1", n)
+	}
+	if n := len(p.Func("T.Method").Loops()); n != 1 {
+		t.Fatalf("T.Method has %d loops, want 1", n)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	p := parse(t)
+	fn := p.Func("Plain")
+	if fn.Pos().Line == 0 {
+		t.Fatal("missing function position")
+	}
+	if fn.StmtPos(0).Line == 0 {
+		t.Fatal("missing statement position")
+	}
+	if fn.StmtPos(-1).Line != 0 {
+		t.Fatal("invalid id should produce zero position")
+	}
+}
+
+func TestParseSourcesMultiFile(t *testing.T) {
+	p, err := ParseSources(map[string]string{
+		"a.go": "package p\nfunc A() {}\n",
+		"b.go": "package p\nfunc B() { A() }\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Files) != 2 {
+		t.Fatalf("Files = %d", len(p.Files))
+	}
+	if p.Func("A") == nil || p.Func("B") == nil {
+		t.Fatal("functions from both files expected")
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := ParseFile("bad.go", "package p\nfunc {"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ParseSources(map[string]string{"bad.go": "not go"}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestFunctionsOrdered(t *testing.T) {
+	p := parse(t)
+	fns := p.Functions()
+	if len(fns) != 3 || fns[0].Name != "NoBodyHelper" {
+		t.Fatalf("Functions() = %v", fns)
+	}
+}

@@ -1,0 +1,245 @@
+package study
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func results(t *testing.T) *Results {
+	t.Helper()
+	return Run(DefaultSeed, PaperOutcome())
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := Run(7, PaperOutcome())
+	b := Run(7, PaperOutcome())
+	if a.FormatAll() != b.FormatAll() {
+		t.Fatal("same seed must regenerate identical tables")
+	}
+	c := Run(8, PaperOutcome())
+	if a.FormatAll() == c.FormatAll() {
+		t.Fatal("different seeds should differ somewhere")
+	}
+}
+
+func TestGroupComposition(t *testing.T) {
+	res := results(t)
+	if len(res.Participants) != 10 {
+		t.Fatalf("participants = %d, want 10 (paper §4.1)", len(res.Participants))
+	}
+	counts := map[Group]int{}
+	skillSum := map[Group]float64{}
+	for _, p := range res.Participants {
+		counts[p.Group]++
+		skillSum[p.Group] += p.Skill
+	}
+	if counts[PattyGroup] != 3 || counts[IntelGroup] != 4 || counts[ManualGroup] != 3 {
+		t.Fatalf("group sizes = %v, want 3/4/3", counts)
+	}
+	// Equal average experience levels across groups.
+	avgs := []float64{
+		skillSum[PattyGroup] / 3, skillSum[IntelGroup] / 4, skillSum[ManualGroup] / 3,
+	}
+	for i := 1; i < len(avgs); i++ {
+		if math.Abs(avgs[i]-avgs[0]) > 0.06 {
+			t.Fatalf("group skill averages not balanced: %v", avgs)
+		}
+	}
+}
+
+func TestTable1ReproducesPaperShape(t *testing.T) {
+	res := results(t)
+	if len(res.Table1) != 4 {
+		t.Fatalf("table 1 has %d indicators, want 4", len(res.Table1))
+	}
+	paper := map[string][2]float64{
+		"Clarity":        {2.00, 1.00},
+		"Complexity":     {2.00, 0.75},
+		"Perceivability": {2.33, 1.00},
+		"Learnability":   {2.33, 1.25},
+	}
+	for _, ind := range res.Table1 {
+		want := paper[ind.Name]
+		if math.Abs(ind.PattyMean-want[0]) > 0.8 {
+			t.Errorf("%s Patty mean %.2f, paper %.2f", ind.Name, ind.PattyMean, want[0])
+		}
+		if math.Abs(ind.IntelMean-want[1]) > 1.1 {
+			t.Errorf("%s intel mean %.2f, paper %.2f", ind.Name, ind.IntelMean, want[1])
+		}
+		// The headline: Patty scores better on every indicator.
+		if ind.PattyMean <= ind.IntelMean {
+			t.Errorf("%s: Patty %.2f must beat intel %.2f", ind.Name, ind.PattyMean, ind.IntelMean)
+		}
+	}
+	// Totals: paper 2.17 vs 1.00.
+	if math.Abs(res.Table1Patty-2.17) > 0.6 {
+		t.Errorf("total comprehensibility Patty = %.2f, paper 2.17", res.Table1Patty)
+	}
+	if res.Table1Patty <= res.Table1Intel {
+		t.Error("Patty total must exceed intel total")
+	}
+}
+
+func TestTable2ReproducesPaperShape(t *testing.T) {
+	res := results(t)
+	if len(res.Table2) != 2 {
+		t.Fatalf("table 2 has %d indicators, want 2", len(res.Table2))
+	}
+	// Overall assessment: paper 2.25 vs 1.40.
+	if res.Table2Patty <= res.Table2Intel {
+		t.Errorf("overall assessment: Patty %.2f must beat intel %.2f", res.Table2Patty, res.Table2Intel)
+	}
+	if math.Abs(res.Table2Patty-2.25) > 0.8 {
+		t.Errorf("Patty overall = %.2f, paper 2.25", res.Table2Patty)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	res := results(t)
+	if len(res.Fig5a) != 9 {
+		t.Fatalf("fig 5a has %d features, want 9", len(res.Fig5a))
+	}
+	patty, intel := 0, 0
+	for _, f := range res.Fig5a {
+		if f.PattyHas {
+			patty++
+		}
+		if f.IntelHas {
+			intel++
+		}
+		if f.Lo > f.Mean || f.Mean > f.Hi {
+			t.Errorf("%s: quartiles inconsistent (%.2f %.2f %.2f)", f.Name, f.Lo, f.Mean, f.Hi)
+		}
+	}
+	// Paper conclusion: Patty provides five of nine, Parallel Studio two.
+	if patty != 5 || intel != 2 {
+		t.Fatalf("coverage = Patty %d / intel %d, want 5 / 2", patty, intel)
+	}
+	// Patty covers three of the top five, intel one.
+	type fr struct {
+		mean  float64
+		patty bool
+		intel bool
+	}
+	var rows []fr
+	for _, f := range res.Fig5a {
+		rows = append(rows, fr{f.Mean, f.PattyHas, f.IntelHas})
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].mean > rows[i].mean {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	pTop, iTop := 0, 0
+	for _, r := range rows[:5] {
+		if r.patty {
+			pTop++
+		}
+		if r.intel {
+			iTop++
+		}
+	}
+	if pTop != 3 || iTop != 1 {
+		t.Fatalf("top-5 coverage = Patty %d / intel %d, want 3 / 1", pTop, iTop)
+	}
+}
+
+func TestFig5bReproducesPaperShape(t *testing.T) {
+	res := results(t)
+	times := map[Group]GroupTimes{}
+	for _, tm := range res.Fig5b {
+		times[tm.Group] = tm
+	}
+	// Paper: total 38.67 / 46.5 / 34; first find 6.66 / 13.5 / 2.66;
+	// first tool use 0.33 for Patty.
+	if math.Abs(times[PattyGroup].TotalWork-38.67) > 6 {
+		t.Errorf("Patty total %.2f, paper 38.67", times[PattyGroup].TotalWork)
+	}
+	if math.Abs(times[IntelGroup].TotalWork-46.5) > 6 {
+		t.Errorf("intel total %.2f, paper 46.5", times[IntelGroup].TotalWork)
+	}
+	if math.Abs(times[ManualGroup].TotalWork-34) > 6 {
+		t.Errorf("manual total %.2f, paper 34", times[ManualGroup].TotalWork)
+	}
+	// Orderings the paper highlights.
+	if !(times[ManualGroup].TotalWork < times[PattyGroup].TotalWork &&
+		times[PattyGroup].TotalWork < times[IntelGroup].TotalWork) {
+		t.Error("total working time must order manual < Patty < intel")
+	}
+	if !(times[ManualGroup].FirstFind < times[PattyGroup].FirstFind &&
+		times[PattyGroup].FirstFind < times[IntelGroup].FirstFind) {
+		t.Error("first identification must order manual < Patty < intel")
+	}
+	if times[PattyGroup].FirstToolUse > 1.0 {
+		t.Errorf("Patty first tool use %.2f, paper 0.33 ('immediately')", times[PattyGroup].FirstToolUse)
+	}
+	if times[IntelGroup].FirstFind < 2*times[PattyGroup].FirstFind {
+		t.Error("intel took 'more than twice as long' to the first find")
+	}
+}
+
+func TestEffectivityReproducesPaperShape(t *testing.T) {
+	res := results(t)
+	eff := map[Group]GroupEffectivity{}
+	for _, e := range res.Effectivity {
+		eff[e.Group] = e
+	}
+	// Paper: Patty 3.0 (100%), intel 2.25 (75%), manual 2.0; only the
+	// manual group produced false positives.
+	if eff[PattyGroup].FoundAvg != 3.0 {
+		t.Errorf("Patty found %.2f, paper 3.0", eff[PattyGroup].FoundAvg)
+	}
+	if math.Abs(eff[IntelGroup].FoundAvg-2.25) > 0.5 {
+		t.Errorf("intel found %.2f, paper 2.25", eff[IntelGroup].FoundAvg)
+	}
+	if math.Abs(eff[ManualGroup].FoundAvg-2.0) > 0.67 {
+		t.Errorf("manual found %.2f, paper 2.0", eff[ManualGroup].FoundAvg)
+	}
+	if eff[PattyGroup].FalsePositives != 0 || eff[IntelGroup].FalsePositives != 0 {
+		t.Error("only the manual group may produce false positives")
+	}
+	if eff[ManualGroup].FalsePositives == 0 {
+		t.Error("manual group must produce false positives (overlooked races)")
+	}
+	if eff[PattyGroup].FoundAvg <= eff[IntelGroup].FoundAvg ||
+		eff[IntelGroup].FoundAvg <= eff[ManualGroup].FoundAvg {
+		t.Error("effectivity must order Patty > intel > manual")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	res := results(t)
+	all := res.FormatAll()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Figure 5a", "Figure 5b", "Effectivity",
+		"Clarity", "Learnability", "Total Comprehensibility",
+		"Visualize runtime distribution", "Total working time",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("FormatAll missing %q", want)
+		}
+	}
+}
+
+func TestMeasuredOutcomeMatchesPaperOutcome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full dynamic model")
+	}
+	got, err := MeasuredOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != PaperOutcome() {
+		t.Fatalf("measured tool outcome %+v differs from committed %+v", got, PaperOutcome())
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if PattyGroup.String() != "Patty" || IntelGroup.String() != "intel" ||
+		ManualGroup.String() != "Manual" || Group(9).String() != "group(9)" {
+		t.Fatal("group names")
+	}
+}

@@ -1,0 +1,218 @@
+package tadl
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+
+	"patty/internal/source"
+)
+
+// Annotation binds an architecture expression to a concrete loop: the
+// artifact of paper Fig. 3b, the interface between the detection and
+// transformation phases.
+type Annotation struct {
+	// Kind is the target pattern: "pipeline", "forall" or "master".
+	Kind string
+	// Arch is the architecture expression.
+	Arch Node
+	// Fn is the canonical function name containing the loop.
+	Fn string
+	// LoopID is the function-local statement id of the annotated loop.
+	LoopID int
+	// StageOf maps top-level loop-body statement ids to stage labels.
+	StageOf map[int]string
+}
+
+// String renders the arch directive payload.
+func (a *Annotation) String() string {
+	return a.Kind + " " + a.Arch.String()
+}
+
+const (
+	archDirective  = "//tadl:arch "
+	stageDirective = "//tadl:stage "
+)
+
+// Annotate inserts TADL directives into src (the text of filename in
+// prog) and returns the annotated source. Directives are comment lines
+// placed directly above the loop and above each labelled body
+// statement, preserving the paper's property that annotations live at
+// the exact detected location.
+func Annotate(prog *source.Program, src string, anns []Annotation) (string, error) {
+	type insertion struct {
+		line int // insert above this 1-based line
+		text string
+	}
+	var ins []insertion
+
+	for _, a := range anns {
+		fn := prog.Func(a.Fn)
+		if fn == nil {
+			return "", fmt.Errorf("tadl: unknown function %q", a.Fn)
+		}
+		loop := fn.Stmt(a.LoopID)
+		if loop == nil {
+			return "", fmt.Errorf("tadl: function %q has no statement %d", a.Fn, a.LoopID)
+		}
+		ins = append(ins, insertion{
+			line: prog.Position(loop.Pos()).Line,
+			text: archDirective + a.String(),
+		})
+		ids := make([]int, 0, len(a.StageOf))
+		for id := range a.StageOf {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			s := fn.Stmt(id)
+			if s == nil {
+				return "", fmt.Errorf("tadl: function %q has no statement %d", a.Fn, id)
+			}
+			ins = append(ins, insertion{
+				line: prog.Position(s.Pos()).Line,
+				text: stageDirective + a.StageOf[id],
+			})
+		}
+	}
+
+	lines := strings.Split(src, "\n")
+	sort.Slice(ins, func(i, j int) bool { return ins[i].line > ins[j].line })
+	for _, in := range ins {
+		if in.line < 1 || in.line > len(lines) {
+			return "", fmt.Errorf("tadl: insertion line %d out of range", in.line)
+		}
+		indent := leadingWhitespace(lines[in.line-1])
+		lines = append(lines[:in.line-1],
+			append([]string{indent + in.text}, lines[in.line-1:]...)...)
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+func leadingWhitespace(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' && s[i] != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// Extract parses TADL directives out of an annotated program. This is
+// the entry point of the transformation phase and also what
+// architecture-based parallel programming (operation mode 2, §3) uses:
+// engineers write the directives by hand and skip automatic detection.
+func Extract(prog *source.Program) ([]Annotation, error) {
+	var anns []Annotation
+	for _, file := range prog.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, strings.TrimSpace(archDirective)) {
+					continue
+				}
+				payload := strings.TrimSpace(strings.TrimPrefix(text, strings.TrimSpace(archDirective)))
+				kind, expr, ok := strings.Cut(payload, " ")
+				if !ok {
+					return nil, fmt.Errorf("tadl: malformed arch directive %q", text)
+				}
+				node, err := Parse(expr)
+				if err != nil {
+					return nil, fmt.Errorf("tadl: %q: %w", text, err)
+				}
+				ann, err := bindAnnotation(prog, file, c, kind, node)
+				if err != nil {
+					return nil, err
+				}
+				anns = append(anns, *ann)
+			}
+		}
+	}
+	sort.Slice(anns, func(i, j int) bool {
+		if anns[i].Fn != anns[j].Fn {
+			return anns[i].Fn < anns[j].Fn
+		}
+		return anns[i].LoopID < anns[j].LoopID
+	})
+	return anns, nil
+}
+
+// bindAnnotation locates the loop following the directive comment and
+// collects its stage directives.
+func bindAnnotation(prog *source.Program, file *ast.File, c *ast.Comment, kind string, node Node) (*Annotation, error) {
+	var fn *source.Function
+	for _, f := range prog.Functions() {
+		if f.File == file && c.Pos() >= f.Decl.Pos() && c.Pos() <= f.Decl.End() {
+			fn = f
+			break
+		}
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("tadl: arch directive outside any function")
+	}
+	// The annotated loop is the first loop starting after the comment.
+	var loop ast.Stmt
+	for _, l := range fn.Loops() {
+		if l.Pos() > c.Pos() && (loop == nil || l.Pos() < loop.Pos()) {
+			loop = l
+		}
+	}
+	if loop == nil {
+		return nil, fmt.Errorf("tadl: no loop follows arch directive in %s", fn.Name)
+	}
+	ann := &Annotation{
+		Kind:    kind,
+		Arch:    node,
+		Fn:      fn.Name,
+		LoopID:  fn.StmtID(loop),
+		StageOf: make(map[int]string),
+	}
+
+	// Stage directives inside the loop bind to the next top-level body
+	// statement.
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	for _, cg := range file.Comments {
+		for _, sc := range cg.List {
+			text := strings.TrimSpace(sc.Text)
+			if !strings.HasPrefix(text, strings.TrimSpace(stageDirective)) {
+				continue
+			}
+			if sc.Pos() < loop.Pos() || sc.Pos() > loop.End() {
+				continue
+			}
+			label := strings.TrimSpace(strings.TrimPrefix(text, strings.TrimSpace(stageDirective)))
+			var target ast.Stmt
+			for _, s := range body.List {
+				if s.Pos() > sc.Pos() && (target == nil || s.Pos() < target.Pos()) {
+					target = s
+				}
+			}
+			if target == nil {
+				return nil, fmt.Errorf("tadl: stage directive %q binds to no statement", label)
+			}
+			ann.StageOf[fn.StmtID(target)] = label
+		}
+	}
+
+	// Validate: every label in the expression must have a statement
+	// when stages are annotated at all.
+	if len(ann.StageOf) > 0 {
+		bound := make(map[string]bool)
+		for _, l := range ann.StageOf {
+			bound[l] = true
+		}
+		for _, l := range Labels(node) {
+			if !bound[l] {
+				return nil, fmt.Errorf("tadl: label %s has no stage directive in %s", l, fn.Name)
+			}
+		}
+	}
+	return ann, nil
+}

@@ -1,0 +1,684 @@
+package transform
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"patty/internal/model"
+	"patty/internal/pattern"
+	"patty/internal/source"
+	"patty/internal/tadl"
+)
+
+// detectAndTransform runs the full detection → annotation →
+// transformation chain on src and returns the outputs.
+func detectAndTransform(t *testing.T, src string) []*Output {
+	t.Helper()
+	prog, err := source.ParseFile("in.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pattern.Detect(model.Build(prog), pattern.Options{SkipNested: true})
+	if len(rep.Candidates) == 0 {
+		t.Fatalf("no candidates; rejected: %+v", rep.Rejected)
+	}
+	tr := New(prog, map[string]string{"in.go": src})
+	var outs []*Output
+	for _, c := range rep.Candidates {
+		out, err := tr.Function(c.Annotation)
+		if err != nil {
+			t.Fatalf("transform %s: %v", c.Fn, err)
+		}
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+// compileAndRun writes the original source, the generated files and a
+// driver main into a testdata package, builds and executes it, and
+// returns stdout. The driver should print the sequential and parallel
+// results so callers can compare them.
+func compileAndRun(t *testing.T, name, src string, outs []*Output, driver string) string {
+	t.Helper()
+	dir := filepath.Join("testdata", "gen_"+name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+
+	write := func(fname, content string) {
+		content = strings.Replace(content, "package p", "package main", 1)
+		if err := os.WriteFile(filepath.Join(dir, fname), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("orig.go", src)
+	for i, out := range outs {
+		write(filepath.Join("gen"+string(rune('0'+i))+".go"), out.Code)
+	}
+	write("main.go", driver)
+
+	cmd := exec.Command("go", "run", "./"+dir)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	data, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, data)
+	}
+	return string(data)
+}
+
+const forallSrc = `package p
+
+func Scale(a, b []int, n int) {
+	for i := 0; i < n; i++ {
+		b[i] = a[i] * 2
+	}
+}
+`
+
+func TestForallGeneratesParallelFor(t *testing.T) {
+	outs := detectAndTransform(t, forallSrc)
+	if len(outs) != 1 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	code := outs[0].Code
+	for _, want := range []string{
+		"func ScaleParallel(ps *parrt.Params, a, b []int, n int)",
+		"parrt.NewParallelFor",
+		"pattyPF.For(n, func(i int)",
+		"b[i] = a[i] * 2",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestForallRunsCorrectly(t *testing.T) {
+	outs := detectAndTransform(t, forallSrc)
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	n := 500
+	a := make([]int, n)
+	bs := make([]int, n)
+	bp := make([]int, n)
+	for i := range a {
+		a[i] = i * 3
+	}
+	Scale(a, bs, n)
+	ScaleParallel(parrt.NewParams(), a, bp, n)
+	for i := range bs {
+		if bs[i] != bp[i] {
+			println("MISMATCH at", i, bs[i], bp[i])
+			return
+		}
+	}
+	println("MATCH")
+}
+`
+	out := compileAndRun(t, "forall", forallSrc, outs, driver)
+	if !strings.Contains(out, "MATCH") {
+		t.Fatalf("driver output:\n%s", out)
+	}
+}
+
+const reduceSrc = `package p
+
+func Sum(a []int) int {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		s += a[i] * a[i]
+	}
+	return s
+}
+`
+
+func TestReductionGeneratesReduce(t *testing.T) {
+	outs := detectAndTransform(t, reduceSrc)
+	code := outs[0].Code
+	if !strings.Contains(code, "parrt.Reduce(pattyPF") {
+		t.Fatalf("missing Reduce call:\n%s", code)
+	}
+	if !strings.Contains(code, "s = s + parrt.Reduce") {
+		t.Fatalf("reduction must fold into the accumulator:\n%s", code)
+	}
+}
+
+func TestReductionRunsCorrectly(t *testing.T) {
+	outs := detectAndTransform(t, reduceSrc)
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	a := make([]int, 1000)
+	for i := range a {
+		a[i] = i - 300
+	}
+	if Sum(a) == SumParallel(parrt.NewParams(), a) {
+		println("MATCH")
+	} else {
+		println("MISMATCH", Sum(a), SumParallel(parrt.NewParams(), a))
+	}
+}
+`
+	out := compileAndRun(t, "reduce", reduceSrc, outs, driver)
+	if !strings.Contains(out, "MATCH") {
+		t.Fatalf("driver output:\n%s", out)
+	}
+}
+
+const masterSrc = `package p
+
+func Classify(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		if a[i]%3 == 0 {
+			b[i] = a[i] * a[i]
+		} else {
+			b[i] = -a[i]
+		}
+	}
+}
+`
+
+func TestMasterWorkerGenerated(t *testing.T) {
+	outs := detectAndTransform(t, masterSrc)
+	code := outs[0].Code
+	if !strings.Contains(code, "parrt.NewMasterWorker") {
+		t.Fatalf("missing MasterWorker:\n%s", code)
+	}
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	n := 400
+	a := make([]int, n)
+	bs := make([]int, n)
+	bp := make([]int, n)
+	for i := range a {
+		a[i] = i*7 - 100
+	}
+	Classify2(a, bs)
+	ClassifyParallel(parrt.NewParams(), a, bp)
+	for i := range bs {
+		if bs[i] != bp[i] {
+			println("MISMATCH at", i)
+			return
+		}
+	}
+	println("MATCH")
+}
+
+func Classify2(a, b []int) { Classify(a, b) }
+`
+	out := compileAndRun(t, "master", masterSrc, outs, driver)
+	if !strings.Contains(out, "MATCH") {
+		t.Fatalf("driver output:\n%s", out)
+	}
+}
+
+const pipeSrc = `package p
+
+type Image struct{ Px int }
+
+func crop(i Image) Image  { return Image{i.Px * 2} }
+func histo(i Image) Image { return Image{i.Px + 3} }
+func oil(i Image) Image {
+	v := i.Px
+	for k := 0; k < 50; k++ {
+		v += k % 5
+	}
+	return Image{v}
+}
+func conv(a, b, c Image) Image { return Image{a.Px + b.Px + c.Px} }
+
+func Process(in []Image) []Image {
+	out := make([]Image, 0)
+	for _, img := range in {
+		c := crop(img)
+		h := histo(img)
+		o := oil(img)
+		r := conv(c, h, o)
+		out = append(out, r)
+	}
+	return out
+}
+`
+
+func TestPipelineGenerated(t *testing.T) {
+	outs := detectAndTransform(t, pipeSrc)
+	code := outs[0].Code
+	for _, want := range []string{
+		"type pattyItem struct",
+		"img Image",
+		"parrt.NewPipeline",
+		"parrt.Group(",
+		"pattyPL.Process(pattyItems)",
+		"for _, img := range in",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated pipeline missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestPipelineRunsCorrectly(t *testing.T) {
+	outs := detectAndTransform(t, pipeSrc)
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	in := make([]Image, 64)
+	for i := range in {
+		in[i] = Image{Px: i * 5}
+	}
+	seq := Process(in)
+	par := ProcessParallel(parrt.NewParams(), in)
+	if len(seq) != len(par) {
+		println("LENGTH MISMATCH")
+		return
+	}
+	for i := range seq {
+		if seq[i].Px != par[i].Px {
+			println("MISMATCH at", i, seq[i].Px, par[i].Px)
+			return
+		}
+	}
+	println("MATCH")
+}
+`
+	out := compileAndRun(t, "pipe", pipeSrc, outs, driver)
+	if !strings.Contains(out, "MATCH") {
+		t.Fatalf("driver output:\n%s", out)
+	}
+}
+
+func TestPipelineRunsWithReplicationTuning(t *testing.T) {
+	outs := detectAndTransform(t, pipeSrc)
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	in := make([]Image, 128)
+	for i := range in {
+		in[i] = Image{Px: i}
+	}
+	seq := Process(in)
+	ps := parrt.NewParams()
+	par := ProcessParallel(ps, in)
+	_ = par
+	// Re-run with every stage replication and fusion cranked up: the
+	// tuning parameters must never change the result.
+	for _, p := range ps.All() {
+		ps.Set(p.Key, p.Max)
+	}
+	par2 := ProcessParallel(ps, in)
+	for i := range seq {
+		if seq[i].Px != par2[i].Px {
+			println("MISMATCH at", i)
+			return
+		}
+	}
+	println("MATCH")
+}
+`
+	out := compileAndRun(t, "pipetune", pipeSrc, outs, driver)
+	if !strings.Contains(out, "MATCH") {
+		t.Fatalf("driver output:\n%s", out)
+	}
+}
+
+func TestLiveOutScalarWriteback(t *testing.T) {
+	src := `package p
+
+func heavy(x int) int { return x*x + 1 }
+
+func Track(a []int, b []int) int {
+	last := 0
+	for i := 0; i < len(a); i++ {
+		v := heavy(a[i])
+		b[i] = v
+		last = v
+	}
+	return last
+}
+`
+	prog, err := source.ParseFile("in.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// `last` creates a carried output dep → pipeline with two stages.
+	rep := pattern.Detect(model.Build(prog), pattern.Options{})
+	if len(rep.Candidates) == 0 {
+		t.Skipf("no candidate (rejected: %+v)", rep.Rejected)
+	}
+	tr := New(prog, map[string]string{"in.go": src})
+	out, err := tr.Function(rep.Candidates[0].Annotation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Code, "last = pattyItems[len(pattyItems)-1].last") {
+		t.Fatalf("missing live-out writeback:\n%s", out.Code)
+	}
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	a := make([]int, 100)
+	bs := make([]int, 100)
+	bp := make([]int, 100)
+	for i := range a {
+		a[i] = i * 2
+	}
+	s := Track(a, bs)
+	p := TrackParallel(parrt.NewParams(), a, bp)
+	if s != p {
+		println("SCALAR MISMATCH", s, p)
+		return
+	}
+	for i := range bs {
+		if bs[i] != bp[i] {
+			println("MISMATCH at", i)
+			return
+		}
+	}
+	println("MATCH")
+}
+`
+	outStr := compileAndRun(t, "liveout", src, []*Output{out}, driver)
+	if !strings.Contains(outStr, "MATCH") {
+		t.Fatalf("driver output:\n%s", outStr)
+	}
+}
+
+func TestHandWrittenTADLAnnotation(t *testing.T) {
+	// Operation mode 2 (§3): the engineer writes TADL directly.
+	annotated := `package p
+
+func double(x int) int { return 2 * x }
+
+func Apply(a, b []int) {
+	//tadl:arch forall forall(A)
+	for i := 0; i < len(a); i++ {
+		//tadl:stage A
+		b[i] = double(a[i])
+	}
+}
+`
+	prog, err := source.ParseFile("in.go", annotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns, err := tadl.Extract(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 1 {
+		t.Fatalf("annotations = %d", len(anns))
+	}
+	tr := New(prog, map[string]string{"in.go": annotated})
+	out, err := tr.Function(anns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Code, "parrt.NewParallelFor") {
+		t.Fatalf("code:\n%s", out.Code)
+	}
+}
+
+func TestRangeLoopForall(t *testing.T) {
+	src := `package p
+
+func Total(xs []int, out []int) {
+	for i, x := range xs {
+		out[i] = x * 3
+	}
+}
+`
+	outs := detectAndTransform(t, src)
+	code := outs[0].Code
+	if !strings.Contains(code, "pattyRange :=") || !strings.Contains(code, "len(pattyRange)") {
+		t.Fatalf("range rewrite missing:\n%s", code)
+	}
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	xs := []int{5, 1, 9, 2, 8, 3, 3, 3, 7, 7}
+	a := make([]int, len(xs))
+	b := make([]int, len(xs))
+	Total(xs, a)
+	TotalParallel(parrt.NewParams(), xs, b)
+	for i := range a {
+		if a[i] != b[i] {
+			println("MISMATCH")
+			return
+		}
+	}
+	println("MATCH")
+}
+`
+	out := compileAndRun(t, "rangefor", src, outs, driver)
+	if !strings.Contains(out, "MATCH") {
+		t.Fatalf("driver output:\n%s", out)
+	}
+}
+
+func TestMethodReceiverTransform(t *testing.T) {
+	src := `package p
+
+type Grid struct {
+	Cells []int
+}
+
+func (g *Grid) Blank(v int) {
+	for i := 0; i < len(g.Cells); i++ {
+		g.Cells[i] = v
+	}
+}
+`
+	outs := detectAndTransform(t, src)
+	code := outs[0].Code
+	if !strings.Contains(code, "func (g *Grid) BlankParallel(ps *parrt.Params, v int)") {
+		t.Fatalf("method receiver lost:\n%s", code)
+	}
+}
+
+func TestUnsupportedLoopShapeErrors(t *testing.T) {
+	src := `package p
+
+func F(a, b []int) {
+	i := 0
+	for i < len(a) {
+		b[i] = a[i]
+		i++
+	}
+}
+`
+	prog, err := source.ParseFile("in.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("F")
+	arch, _ := tadl.Parse("forall(A)")
+	ann := tadl.Annotation{Kind: "forall", Arch: arch, Fn: "F", LoopID: fn.StmtID(fn.Loops()[0])}
+	tr := New(prog, map[string]string{"in.go": src})
+	if _, err := tr.Function(ann); err == nil {
+		t.Fatal("expected error for while-style loop")
+	}
+}
+
+func TestImportsRejected(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+func F(a []int) int {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		s += a[i]
+	}
+	fmt.Println(s)
+	return s
+}
+`
+	prog, err := source.ParseFile("in.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("F")
+	arch, _ := tadl.Parse("forall(A)")
+	ann := tadl.Annotation{Kind: "forall", Arch: arch, Fn: "F", LoopID: fn.StmtID(fn.Loops()[0])}
+	tr := New(prog, map[string]string{"in.go": src})
+	if _, err := tr.Function(ann); err == nil {
+		t.Fatal("expected type-checking rejection for imported packages")
+	}
+}
+
+func TestContinueRewrittenToReturn(t *testing.T) {
+	src := `package p
+
+func Positives(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		if a[i] < 0 {
+			continue
+		}
+		b[i] = a[i] * 2
+	}
+}
+`
+	outs := detectAndTransform(t, src)
+	code := outs[0].Code
+	if strings.Contains(code, "continue") {
+		t.Fatalf("continue must be rewritten inside the closure:\n%s", code)
+	}
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	n := 200
+	a := make([]int, n)
+	bs := make([]int, n)
+	bp := make([]int, n)
+	for i := range a {
+		a[i] = (i*13)%21 - 10
+	}
+	Positives(a, bs)
+	PositivesParallel(parrt.NewParams(), a, bp)
+	for i := range bs {
+		if bs[i] != bp[i] {
+			println("MISMATCH at", i, bs[i], bp[i])
+			return
+		}
+	}
+	println("MATCH")
+}
+`
+	out := compileAndRun(t, "continue", src, outs, driver)
+	if !strings.Contains(out, "MATCH") {
+		t.Fatalf("driver output:\n%s", out)
+	}
+}
+
+func TestContinueInNestedLoopPreserved(t *testing.T) {
+	src := `package p
+
+func RowMax(m [][]int, out []int) {
+	for i := 0; i < len(m); i++ {
+		best := -1 << 60
+		for j := 0; j < len(m[i]); j++ {
+			if m[i][j] < 0 {
+				continue
+			}
+			if m[i][j] > best {
+				best = m[i][j]
+			}
+		}
+		out[i] = best
+	}
+}
+`
+	outs := detectAndTransform(t, src)
+	code := outs[0].Code
+	// The inner loop's continue must survive untouched.
+	if !strings.Contains(code, "continue") {
+		t.Fatalf("nested-loop continue was wrongly rewritten:\n%s", code)
+	}
+}
+
+func TestPipelineForStmtHeader(t *testing.T) {
+	// Index-based pipeline: the induction variable becomes an envelope
+	// field filled by the stream generator.
+	src := `package p
+
+type Sink struct {
+	Vals []int
+}
+
+func (s *Sink) Push(v int) { s.Vals = append(s.Vals, v) }
+
+func work(x int) int {
+	v := x
+	for k := 0; k < 30; k++ {
+		v += k % 7
+	}
+	return v
+}
+
+func Drive(in []int, s *Sink) {
+	for i := 0; i < len(in); i++ {
+		h := work(in[i] + i)
+		s.Push(h)
+	}
+}
+`
+	outs := detectAndTransform(t, src)
+	code := outs[0].Code
+	for _, want := range []string{"type pattyItem struct", "i int", "parrt.NewPipeline"} {
+		if !strings.Contains(code, want) {
+			t.Fatalf("missing %q:\n%s", want, code)
+		}
+	}
+	driver := `package p
+
+import "patty/internal/parrt"
+
+func main() {
+	in := make([]int, 80)
+	for i := range in {
+		in[i] = i * 3
+	}
+	seq := &Sink{}
+	par := &Sink{}
+	Drive(in, seq)
+	DriveParallel(parrt.NewParams(), in, par)
+	if len(seq.Vals) != len(par.Vals) {
+		println("LENGTH MISMATCH")
+		return
+	}
+	for i := range seq.Vals {
+		if seq.Vals[i] != par.Vals[i] {
+			println("MISMATCH at", i)
+			return
+		}
+	}
+	println("MATCH")
+}
+`
+	out := compileAndRun(t, "forpipe", src, outs, driver)
+	if !strings.Contains(out, "MATCH") {
+		t.Fatalf("driver output:\n%s", out)
+	}
+}

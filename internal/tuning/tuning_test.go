@@ -1,0 +1,180 @@
+package tuning
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"patty/internal/parrt"
+)
+
+// quadratic builds a smooth objective with a unique optimum.
+func quadratic(opt map[string]int) Objective {
+	return func(a map[string]int) float64 {
+		c := 0.0
+		for k, best := range opt {
+			d := float64(a[k] - best)
+			c += d * d
+		}
+		return c
+	}
+}
+
+func dims2() []Dim {
+	return []Dim{
+		{Key: "x", Min: 0, Max: 16},
+		{Key: "y", Min: 0, Max: 16},
+	}
+}
+
+func start2() map[string]int { return map[string]int{"x": 0, "y": 0} }
+
+func tuners() []Tuner {
+	return []Tuner{LinearSearch{}, RandomSearch{Seed: 7}, TabuSearch{}, NelderMead{}}
+}
+
+func TestAllTunersFindQuadraticOptimum(t *testing.T) {
+	opt := map[string]int{"x": 11, "y": 3}
+	for _, tn := range tuners() {
+		res := tn.Tune(dims2(), start2(), quadratic(opt), 600)
+		if res.BestCost > 4 { // within distance 2 of the optimum
+			t.Errorf("%s: best cost %f at %v", tn.Name(), res.BestCost, res.Best)
+		}
+		if res.Evaluations == 0 || res.Evaluations > 600 {
+			t.Errorf("%s: evaluations = %d", tn.Name(), res.Evaluations)
+		}
+	}
+}
+
+func TestLinearSearchExactOnSeparableObjective(t *testing.T) {
+	opt := map[string]int{"x": 5, "y": 13}
+	res := LinearSearch{}.Tune(dims2(), start2(), quadratic(opt), 1000)
+	if res.BestCost != 0 {
+		t.Fatalf("linear search must solve separable objectives exactly: %v (%f)", res.Best, res.BestCost)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	calls := 0
+	obj := func(a map[string]int) float64 { calls++; return float64(a["x"]) }
+	for _, tn := range tuners() {
+		calls = 0
+		res := tn.Tune([]Dim{{Key: "x", Min: 0, Max: 1000}}, map[string]int{"x": 500}, obj, 20)
+		if calls > 20 {
+			t.Errorf("%s: %d objective calls, budget 20", tn.Name(), calls)
+		}
+		if res.Evaluations != calls {
+			t.Errorf("%s: Evaluations=%d calls=%d", tn.Name(), res.Evaluations, calls)
+		}
+	}
+}
+
+func TestTraceIsMonotone(t *testing.T) {
+	res := LinearSearch{}.Tune(dims2(), start2(), quadratic(map[string]int{"x": 9, "y": 9}), 400)
+	last := math.Inf(1)
+	for _, p := range res.Trace {
+		if p.Cost >= last {
+			t.Fatalf("trace not strictly improving: %+v", res.Trace)
+		}
+		last = p.Cost
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestStepRespected(t *testing.T) {
+	obj := func(a map[string]int) float64 {
+		if a["x"]%4 != 0 {
+			t.Fatalf("evaluated off-lattice value %d", a["x"])
+		}
+		return float64(a["x"])
+	}
+	LinearSearch{}.Tune([]Dim{{Key: "x", Min: 0, Max: 16, Step: 4}}, map[string]int{"x": 8}, obj, 100)
+	RandomSearch{Seed: 3}.Tune([]Dim{{Key: "x", Min: 0, Max: 16, Step: 4}}, map[string]int{"x": 8}, obj, 50)
+}
+
+func TestNelderMeadNoDims(t *testing.T) {
+	res := NelderMead{}.Tune(nil, map[string]int{"x": 1}, func(map[string]int) float64 { return 42 }, 10)
+	if res.BestCost != 42 || res.Evaluations != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	ps := parrt.NewParams()
+	ps.Register(parrt.Param{Key: "pipeline.v.stage.0.replication", Kind: parrt.IntParam, Min: 1, Max: 8, Value: 2, Location: "video.go:10"})
+	ps.Register(parrt.Param{Key: "pipeline.v.sequentialexecution", Kind: parrt.BoolParam, Min: 0, Max: 1, Value: 0})
+	cfg := FromParams("video", ps)
+	if len(cfg.Entries) != 2 || cfg.Program != "video" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries) != 2 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+
+	// Apply restores values into a fresh registry — including before
+	// pattern construction (the recompilation-free tuning property).
+	ps2 := parrt.NewParams()
+	loaded.Apply(ps2)
+	if ps2.Get("pipeline.v.stage.0.replication", -1) != 2 {
+		t.Fatal("value not applied")
+	}
+	p := ps2.Register(parrt.Param{Key: "pipeline.v.stage.0.replication", Kind: parrt.IntParam, Min: 1, Max: 8, Value: 1})
+	if p.Value != 2 {
+		t.Fatal("tuned value lost on registration")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestDimsFromParams(t *testing.T) {
+	ps := parrt.NewParams()
+	ps.Register(parrt.Param{Key: "a", Kind: parrt.IntParam, Min: 1, Max: 8, Value: 1})
+	ps.Register(parrt.Param{Key: "fixed", Kind: parrt.IntParam, Min: 3, Max: 3, Value: 3})
+	dims := DimsFromParams(ps)
+	if len(dims) != 1 || dims[0].Key != "a" {
+		t.Fatalf("dims = %+v", dims)
+	}
+}
+
+// TestTunePipelineEndToEnd drives a real (virtual-cost) objective: a
+// pipeline simulation where sequential execution is costly, the right
+// replication helps, and over-replication adds overhead.
+func TestTunePipelineEndToEnd(t *testing.T) {
+	obj := func(a map[string]int) float64 {
+		if a["seq"] == 1 {
+			return 1000
+		}
+		r := a["repl"]
+		hot := 600.0 / float64(r)
+		overhead := 20.0 * float64(r)
+		return hot + overhead + 100
+	}
+	dims := []Dim{
+		{Key: "seq", Min: 0, Max: 1},
+		{Key: "repl", Min: 1, Max: 8},
+	}
+	for _, tn := range tuners() {
+		res := tn.Tune(dims, map[string]int{"seq": 1, "repl": 1}, obj, 200)
+		if res.Best["seq"] != 0 {
+			t.Errorf("%s: kept sequential execution", tn.Name())
+		}
+		if res.Best["repl"] < 4 || res.Best["repl"] > 7 {
+			t.Errorf("%s: replication = %d, optimum is 5-6", tn.Name(), res.Best["repl"])
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package patty
+
+// Generative robustness tests: the detection pipeline must behave on
+// arbitrary (small, valid) programs, not just the corpus — no panics,
+// deterministic results, and annotations that survive the
+// insert→parse→extract round trip.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"patty/internal/model"
+	"patty/internal/pattern"
+	"patty/internal/source"
+	"patty/internal/tadl"
+)
+
+// genProgram builds a random but valid sequential program from loop
+// templates exercising all detector paths.
+func genProgram(rng *rand.Rand) string {
+	templates := []func(name string, r *rand.Rand) string{
+		func(n string, r *rand.Rand) string { // independent map
+			return fmt.Sprintf(`func %s(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		b[i] = a[i] * %d
+	}
+}`, n, 1+r.Intn(9))
+		},
+		func(n string, r *rand.Rand) string { // reduction
+			return fmt.Sprintf(`func %s(a []int) int {
+	s := %d
+	for i := 0; i < len(a); i++ {
+		s += a[i] %% %d
+	}
+	return s
+}`, n, r.Intn(5), 2+r.Intn(7))
+		},
+		func(n string, r *rand.Rand) string { // recurrence
+			return fmt.Sprintf(`func %s(a []int) {
+	for i := 1; i < len(a); i++ {
+		a[i] = a[i-%d] + %d
+	}
+}`, n, 1+r.Intn(2), r.Intn(9))
+		},
+		func(n string, r *rand.Rand) string { // early exit
+			return fmt.Sprintf(`func %s(a []int) int {
+	for i := 0; i < len(a); i++ {
+		if a[i] == %d {
+			return i
+		}
+	}
+	return -1
+}`, n, r.Intn(100))
+		},
+		func(n string, r *rand.Rand) string { // pipeline-ish append
+			return fmt.Sprintf(`func %s(a []int) []int {
+	out := []int{}
+	for i := 0; i < len(a); i++ {
+		v := a[i]*%d + %d
+		w := v %% %d
+		out = append(out, w)
+	}
+	return out
+}`, n, 1+r.Intn(5), r.Intn(9), 2+r.Intn(9))
+		},
+		func(n string, r *rand.Rand) string { // irregular
+			return fmt.Sprintf(`func %s(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		if a[i] > %d {
+			b[i] = a[i] * a[i]
+		} else {
+			b[i] = -a[i]
+		}
+	}
+}`, n, r.Intn(50))
+		},
+		func(n string, r *rand.Rand) string { // continue
+			return fmt.Sprintf(`func %s(a, b []int) {
+	for i := 0; i < len(a); i++ {
+		if a[i] %% %d == 0 {
+			continue
+		}
+		b[i] = a[i] + %d
+	}
+}`, n, 2+r.Intn(5), r.Intn(9))
+		},
+		func(n string, r *rand.Rand) string { // nested
+			return fmt.Sprintf(`func %s(m [][]int) int {
+	t := 0
+	for i := 0; i < len(m); i++ {
+		for j := 0; j < len(m[i]); j++ {
+			t += m[i][j] %% %d
+		}
+	}
+	return t
+}`, n, 2+r.Intn(9))
+		},
+	}
+	var b strings.Builder
+	b.WriteString("package p\n\n")
+	k := 1 + rng.Intn(5)
+	for f := 0; f < k; f++ {
+		tmpl := templates[rng.Intn(len(templates))]
+		b.WriteString(tmpl(fmt.Sprintf("F%d", f), rng))
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}
+
+func TestDetectionRobustOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	for trial := 0; trial < 120; trial++ {
+		src := genProgram(rng)
+		prog, err := source.ParseFile("r.go", src)
+		if err != nil {
+			t.Fatalf("generator produced invalid Go:\n%s\n%v", src, err)
+		}
+		m := model.Build(prog)
+		rep := pattern.Detect(m, pattern.Options{SkipNested: true})
+
+		// Determinism: a second run must agree.
+		rep2 := pattern.Detect(model.Build(prog), pattern.Options{SkipNested: true})
+		if len(rep.Candidates) != len(rep2.Candidates) || len(rep.Rejected) != len(rep2.Rejected) {
+			t.Fatalf("nondeterministic detection on:\n%s", src)
+		}
+
+		// Each candidate's annotation survives the round trip.
+		for _, c := range rep.Candidates {
+			annotated, err := tadl.Annotate(prog, src, []tadl.Annotation{c.Annotation})
+			if err != nil {
+				t.Fatalf("annotate failed on:\n%s\n%v", src, err)
+			}
+			prog2, err := source.ParseFile("r.go", annotated)
+			if err != nil {
+				t.Fatalf("annotated source does not parse:\n%s\n%v", annotated, err)
+			}
+			anns, err := tadl.Extract(prog2)
+			if err != nil {
+				t.Fatalf("extract failed on:\n%s\n%v", annotated, err)
+			}
+			found := false
+			for _, a := range anns {
+				if a.Fn == c.Fn && a.Arch.String() == c.Arch.String() {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("annotation for %s (%s) lost in round trip:\n%s", c.Fn, c.Arch, annotated)
+			}
+		}
+
+		// Every loop is accounted for: candidate or rejection.
+		outer := 0
+		for _, lm := range m.AllLoops() {
+			if !lm.Nested {
+				outer++
+			}
+		}
+		if got := len(rep.Candidates) + len(rep.Rejected); got != outer {
+			t.Fatalf("loop accounting: %d candidates+rejections for %d outer loops in:\n%s",
+				got, outer, src)
+		}
+	}
+}
+
+func TestFullProcessRobustOnRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		src := genProgram(rng)
+		// The full process (including transformation, which may skip
+		// unsupported shapes but must not fail or panic).
+		arts, err := Parallelize(map[string]string{"r.go": src}, nil)
+		if err != nil {
+			t.Fatalf("process failed on:\n%s\n%v", src, err)
+		}
+		for _, out := range arts.Outputs {
+			if !strings.Contains(out.Code, "DO NOT EDIT") {
+				t.Fatal("generated code missing header")
+			}
+		}
+	}
+}
