@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench eval study examples clean
+.PHONY: all build test race bench lint eval study examples clean
 
 all: build test
 
@@ -13,7 +13,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parrt/ ./internal/sched/
+	$(GO) test -race ./internal/parrt/ ./internal/sched/ ./internal/obs/
+
+# lint fails when any file needs gofmt or go vet finds an issue; CI
+# runs this on every push (see .github/workflows/ci.yml).
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .

@@ -19,6 +19,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -debug-addr serves /debug/pprof/
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,11 +39,19 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("patty", flag.ExitOnError)
+	global.Usage = usage
+	debugAddr := global.String("debug-addr", "",
+		"serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. :6060")
+	global.Parse(os.Args[1:])
+	if len(global.Args()) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr)
+	}
+	cmd, args := global.Args()[0], global.Args()[1:]
 	var err error
 	switch cmd {
 	case "detect":
@@ -76,8 +87,29 @@ func main() {
 	}
 }
 
+// startDebugServer exposes the live metrics collector and the
+// standard Go diagnostics over HTTP: expvar at /debug/vars (including
+// the "patty.metrics" snapshot) and pprof at /debug/pprof/. Opt-in
+// via -debug-addr; intended for watching long eval or tuning runs.
+func startDebugServer(addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		// Diagnostics are opt-in and best-effort: warn, don't abort
+		// the actual command.
+		fmt.Fprintf(os.Stderr, "patty: -debug-addr %s: %v (continuing without debug endpoints)\n", addr, err)
+		return
+	}
+	metrics.PublishExpvar("patty.metrics")
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "patty: debug server on %s: %v\n", addr, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "patty: debug endpoints on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
+}
+
 func usage() {
-	fmt.Println(`usage: patty <command> [flags]
+	fmt.Println(`usage: patty [-debug-addr :6060] <command> [flags]
 
 commands:
   detect    [-corpus name | files...]   report parallelization candidates
@@ -326,6 +358,7 @@ func cmdStudy(args []string) error {
 func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	staticOnly := fs.Bool("static", false, "evaluate without dynamic analysis")
+	noObs := fs.Bool("no-obs", false, "skip the runtime observability probe")
 	fs.Parse(args)
 	dets := []baseline.Detector{
 		baseline.Patty{},
@@ -345,6 +378,10 @@ func cmdEval(args []string) error {
 	for _, s := range scores {
 		fmt.Printf("%-22s %4d %4d %4d %10.2f %8.2f %8.2f\n",
 			s.Detector, s.TP, s.FP, s.FN, s.Precision, s.Recall, s.F1)
+	}
+	if !*noObs {
+		fmt.Println()
+		fmt.Print(report.BottleneckTable(runtimeProbe(metrics)))
 	}
 	return nil
 }

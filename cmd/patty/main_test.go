@@ -225,3 +225,41 @@ func TestCmdVerifyCleanCorpus(t *testing.T) {
 		t.Errorf("verify output:\n%s", out)
 	}
 }
+
+func TestCmdEvalBottleneckTable(t *testing.T) {
+	out, err := capture(t, func() error { return cmdEval([]string{"-static"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"precision", // the detection-quality table is still there
+		"runtime bottleneck table",
+		"probe-video", "pipeline",
+		"probe-hash", "masterworker",
+		"probe-scale", "parallelfor",
+		"oil", // the probe pipeline's expensive stage shows up in the detail
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("eval output missing %q", want)
+		}
+	}
+	out, err = capture(t, func() error { return cmdEval([]string{"-static", "-no-obs"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "runtime bottleneck table") {
+		t.Error("-no-obs must suppress the bottleneck table")
+	}
+}
+
+func TestRuntimeProbeAnalyses(t *testing.T) {
+	analyses := runtimeProbe(metrics)
+	if len(analyses) != 3 {
+		t.Fatalf("probe produced %d analyses, want 3", len(analyses))
+	}
+	for _, a := range analyses {
+		if a.Items == 0 || a.WallNs == 0 {
+			t.Errorf("%s %q: empty analysis %+v", a.Kind, a.Name, a)
+		}
+	}
+}

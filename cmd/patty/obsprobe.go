@@ -1,0 +1,56 @@
+package main
+
+import (
+	"patty/internal/obs"
+	"patty/internal/parrt"
+)
+
+// metrics is the process-wide collector: the eval runtime probe
+// records into it, and -debug-addr publishes it at /debug/vars so a
+// long-running eval can be inspected live.
+var metrics = obs.New()
+
+// probeWork burns a deterministic amount of CPU proportional to cost;
+// real compute (not sleep) so stage utilizations reflect actual
+// service time.
+func probeWork(cost int) int {
+	acc := 1
+	for i := 0; i < cost*500; i++ {
+		acc = acc*31 + i
+	}
+	return acc
+}
+
+// runtimeProbe executes one small instrumented workload per pattern
+// runtime — a deliberately imbalanced pipeline, a master/worker pool
+// with skewed task sizes, and a data-parallel loop — and returns the
+// per-pattern analyses for the bottleneck table. This is the
+// operation-mode-3 counterpart of the detection-quality study: it
+// shows what the runtime itself measures once patterns execute.
+func runtimeProbe(c *obs.Collector) []obs.PatternAnalysis {
+	type frame struct{ v int }
+	pipe := parrt.NewPipeline("probe-video", parrt.NewParams(),
+		parrt.Stage[frame]{Name: "crop", Replicable: true, Fn: func(f *frame) { f.v += probeWork(1) }},
+		parrt.Stage[frame]{Name: "oil", Replicable: true, Fn: func(f *frame) { f.v += probeWork(8) }},
+		parrt.Stage[frame]{Name: "conv", Replicable: true, Fn: func(f *frame) { f.v += probeWork(1) }},
+	).Instrument(c)
+	frames := make([]*frame, 128)
+	for i := range frames {
+		frames[i] = &frame{v: i}
+	}
+	pipe.Process(frames)
+
+	mw := parrt.NewMasterWorker("probe-hash", parrt.NewParams(), 4, func(n int) int {
+		return probeWork(n%9 + 1)
+	}).Instrument(c)
+	tasks := make([]int, 96)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	mw.Process(tasks)
+
+	pf := parrt.NewParallelFor("probe-scale", parrt.NewParams(), 4).Instrument(c)
+	pf.For(512, func(i int) { probeWork(1) })
+
+	return obs.Analyze(c.Snapshot())
+}

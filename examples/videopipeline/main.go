@@ -15,7 +15,9 @@ import (
 
 	"patty"
 	"patty/internal/corpus"
+	"patty/internal/obs"
 	"patty/internal/parrt"
+	"patty/internal/report"
 	"patty/internal/sched"
 )
 
@@ -86,12 +88,13 @@ func main() {
 	want := sequential(frames(n))
 
 	ps := parrt.NewParams()
+	metrics := obs.New()
 	pipe := parrt.NewPipeline("video", ps,
 		parrt.Stage[Image]{Name: "A", Replicable: true, MaxReplication: 8, Fn: crop},
 		parrt.Stage[Image]{Name: "B", Replicable: true, MaxReplication: 8, Fn: histo},
 		parrt.Stage[Image]{Name: "C", Replicable: true, MaxReplication: 8, Fn: oil},
 		parrt.Stage[Image]{Name: "D", Replicable: true, MaxReplication: 8, Fn: conv},
-	)
+	).Instrument(metrics)
 
 	run := func(label string) time.Duration {
 		in := frames(n)
@@ -114,6 +117,7 @@ func main() {
 	ps.Set("pipeline.video.sequentialexecution", 0)
 	pipelined := run("pipeline, no replication")
 	ps.Set("pipeline.video.stage.2.replication", 4)
+	metrics.Reset() // bottleneck table below shows the tuned run only
 	replicated := run("pipeline, oil replicated x4")
 
 	fmt.Printf("\nspeedup pipeline vs sequential:   %.2fx\n", float64(seq)/float64(pipelined))
@@ -124,4 +128,10 @@ func main() {
 		fmt.Printf("  %-4s items=%4d busy=%8.1f ms\n", st.Name, st.Items,
 			float64(st.Busy.Microseconds())/1000)
 	}
+
+	// The observability layer's view of the same runs: which stage
+	// bounds throughput, how congested the queues are, what the
+	// reorder buffer cost — the feedback the auto-tuner consumes.
+	fmt.Println()
+	fmt.Print(report.BottleneckTable(obs.Analyze(metrics.Snapshot())))
 }

@@ -1,0 +1,19 @@
+package obs
+
+import "expvar"
+
+// PublishExpvar exposes the collector's live snapshot under name on
+// the process-wide expvar registry (served at /debug/vars by any
+// http.DefaultServeMux server, e.g. cmd/patty's -debug-addr). It is
+// idempotent per name: republishing replaces nothing and does not
+// panic, so tests and repeated CLI invocations in one process are
+// safe. No-op on a nil Collector.
+func (c *Collector) PublishExpvar(name string) {
+	if c == nil {
+		return
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return c.Snapshot() }))
+}

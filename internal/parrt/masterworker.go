@@ -1,9 +1,12 @@
 package parrt
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"patty/internal/obs"
 )
 
 // MasterWorker is the tunable master/worker pattern: a master
@@ -19,8 +22,9 @@ import (
 //   - sequentialexecution: run tasks inline on the master
 //   - minparallellen:      task-count threshold for inline execution
 type MasterWorker[T, R any] struct {
-	name string
-	work func(T) R
+	name       string
+	work       func(T) R
+	maxWorkers int
 
 	workers *Param
 	order   *Param
@@ -29,6 +33,18 @@ type MasterWorker[T, R any] struct {
 
 	items     stageCounters
 	busyTotal time.Duration
+	m         mwMetrics
+}
+
+// mwMetrics holds the pattern's observability instruments; nil (and
+// enabled == false) until Instrument is called.
+type mwMetrics struct {
+	enabled     bool
+	wall        *obs.Counter
+	tasks       *obs.Counter
+	workerItems []*obs.Counter
+	workerBusy  []*obs.Counter
+	workerIdle  []*obs.Counter
 }
 
 // NewMasterWorker constructs the pattern around the worker function
@@ -42,7 +58,7 @@ func NewMasterWorker[T, R any](name string, ps *Params, maxWorkers int, work fun
 		maxWorkers = runtime.NumCPU()
 	}
 	prefix := "masterworker." + name
-	mw := &MasterWorker[T, R]{name: name, work: work}
+	mw := &MasterWorker[T, R]{name: name, work: work, maxWorkers: maxWorkers}
 	mw.workers = ps.Register(Param{
 		Key:  prefix + ".workers",
 		Kind: IntParam, Min: 1, Max: maxWorkers, Value: maxWorkers,
@@ -62,6 +78,33 @@ func NewMasterWorker[T, R any](name string, ps *Params, maxWorkers int, work fun
 	return mw
 }
 
+// Instrument attaches the pattern to a metrics collector and returns
+// the pattern. Per worker w it records items, busy time and idle time
+// (time blocked waiting for the next task) under
+// "masterworker.<name>.worker.<w>.", plus wall time and the task
+// count under "masterworker.<name>.". The per-worker series expose
+// the imbalance ratio the bottleneck table reports. A nil collector
+// leaves the pattern uninstrumented.
+func (mw *MasterWorker[T, R]) Instrument(c *obs.Collector) *MasterWorker[T, R] {
+	if c == nil {
+		return mw
+	}
+	prefix := "masterworker." + mw.name
+	mw.m.enabled = true
+	mw.m.wall = c.Counter(prefix + ".wall_ns")
+	mw.m.tasks = c.Counter(prefix + ".tasks")
+	mw.m.workerItems = make([]*obs.Counter, mw.maxWorkers)
+	mw.m.workerBusy = make([]*obs.Counter, mw.maxWorkers)
+	mw.m.workerIdle = make([]*obs.Counter, mw.maxWorkers)
+	for w := 0; w < mw.maxWorkers; w++ {
+		wp := fmt.Sprintf("%s.worker.%d", prefix, w)
+		mw.m.workerItems[w] = c.Counter(wp + ".items")
+		mw.m.workerBusy[w] = c.Counter(wp + ".busy_ns")
+		mw.m.workerIdle[w] = c.Counter(wp + ".idle_ns")
+	}
+	return mw
+}
+
 // Name returns the pattern instance name.
 func (mw *MasterWorker[T, R]) Name() string { return mw.name }
 
@@ -70,11 +113,26 @@ func (mw *MasterWorker[T, R]) Name() string { return mw.name }
 // order; otherwise in completion order. Sequential fallback follows
 // the same rules as Pipeline.Process.
 func (mw *MasterWorker[T, R]) Process(tasks []T) []R {
+	var wallStart time.Time
+	if mw.m.enabled {
+		wallStart = time.Now()
+		mw.m.tasks.Add(int64(len(tasks)))
+	}
 	if mw.seq.Bool() || len(tasks) < mw.minPl.Value {
 		out := make([]R, len(tasks))
 		for i, t := range tasks {
-			out[i] = mw.work(t)
+			if mw.m.enabled {
+				start := time.Now()
+				out[i] = mw.work(t)
+				mw.m.workerBusy[0].Add(int64(time.Since(start)))
+				mw.m.workerItems[0].Inc()
+			} else {
+				out[i] = mw.work(t)
+			}
 			mw.items.items.Add(1)
+		}
+		if mw.m.enabled {
+			mw.m.wall.Add(int64(time.Since(wallStart)))
 		}
 		return out
 	}
@@ -99,28 +157,55 @@ func (mw *MasterWorker[T, R]) Process(tasks []T) []R {
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for w := 0; w < n; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for j := range jobs {
-				results <- done{j.idx, mw.work(j.task)}
-				mw.items.items.Add(1)
+			if !mw.m.enabled {
+				for j := range jobs {
+					results <- done{j.idx, mw.work(j.task)}
+					mw.items.items.Add(1)
+				}
+				return
 			}
-		}()
+			items := mw.m.workerItems[w]
+			busy := mw.m.workerBusy[w]
+			idle := mw.m.workerIdle[w]
+			for {
+				idleStart := time.Now()
+				j, ok := <-jobs
+				idle.Add(int64(time.Since(idleStart)))
+				if !ok {
+					return
+				}
+				busyStart := time.Now()
+				res := mw.work(j.task)
+				busy.Add(int64(time.Since(busyStart)))
+				results <- done{j.idx, res}
+				mw.items.items.Add(1)
+				items.Inc()
+			}
+		}(w)
 	}
 	go func() {
 		wg.Wait()
 		close(results)
 	}()
-	if mw.order.Bool() {
-		out := make([]R, len(tasks))
+	collect := func() []R {
+		if mw.order.Bool() {
+			out := make([]R, len(tasks))
+			for d := range results {
+				out[d.idx] = d.res
+			}
+			return out
+		}
+		out := make([]R, 0, len(tasks))
 		for d := range results {
-			out[d.idx] = d.res
+			out = append(out, d.res)
 		}
 		return out
 	}
-	out := make([]R, 0, len(tasks))
-	for d := range results {
-		out = append(out, d.res)
+	out := collect()
+	if mw.m.enabled {
+		mw.m.wall.Add(int64(time.Since(wallStart)))
 	}
 	return out
 }

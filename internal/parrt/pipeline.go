@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"patty/internal/obs"
 )
 
 // StageFunc processes one stream element in place. Elements are passed
@@ -90,6 +92,24 @@ type Pipeline[T any] struct {
 	minPl *Param   // global: stream-length threshold below which Process runs sequentially
 
 	counters []stageCounters
+	m        pipeMetrics
+}
+
+// pipeMetrics holds the pipeline's observability instruments, hoisted
+// out of the hot loops at Instrument time. All pointers are nil until
+// Instrument is called; recording through a nil instrument is a noop
+// costing one branch (see internal/obs), so an uninstrumented
+// pipeline stays on its original fast path.
+type pipeMetrics struct {
+	enabled        bool
+	service        []*obs.Histogram // per stage: per-item service time
+	blocked        []*obs.Counter   // per stage: time blocked pushing downstream
+	queueSum       []*obs.Counter   // per stage: input-queue occupancy at dequeue
+	replicas       []*obs.Gauge     // per stage: worker lanes in the last plan
+	queueCap       *obs.Gauge
+	reorderPending *obs.Gauge
+	reorderHeld    *obs.Counter
+	wall           *obs.Counter
 }
 
 // Pipeline tuning-parameter key suffixes.
@@ -122,6 +142,12 @@ func NewPipeline[T any](name string, ps *Params, stages ...Stage[T]) *Pipeline[T
 		stages:   stages,
 		params:   ps,
 		counters: make([]stageCounters, len(stages)),
+		m: pipeMetrics{
+			service:  make([]*obs.Histogram, len(stages)),
+			blocked:  make([]*obs.Counter, len(stages)),
+			queueSum: make([]*obs.Counter, len(stages)),
+			replicas: make([]*obs.Gauge, len(stages)),
+		},
 	}
 	prefix := "pipeline." + name
 	for i, s := range stages {
@@ -159,6 +185,36 @@ func NewPipeline[T any](name string, ps *Params, stages ...Stage[T]) *Pipeline[T
 		Key:  prefix + "." + keyMinParallel,
 		Kind: IntParam, Min: 0, Max: 1 << 20, Step: 1 << 14, Value: defaultMinParLn,
 	})
+	return p
+}
+
+// Instrument attaches the pipeline to a metrics collector and returns
+// the pipeline. Per stage i it records under
+// "pipeline.<name>.stage.<i>." the service-time histogram
+// (service_ns), downstream back-pressure (blocked_ns), input-queue
+// occupancy (queue_sum, sampled at each dequeue) and the replica
+// gauge, plus wall time, queue capacity and reorder-buffer pressure
+// under "pipeline.<name>.". A nil collector leaves the pipeline
+// uninstrumented. Call before Process/Run; instrumenting a running
+// pipeline races with its workers.
+func (p *Pipeline[T]) Instrument(c *obs.Collector) *Pipeline[T] {
+	if c == nil {
+		return p
+	}
+	prefix := "pipeline." + p.name
+	p.m.enabled = true
+	p.m.wall = c.Counter(prefix + ".wall_ns")
+	p.m.queueCap = c.Gauge(prefix + ".queue_cap")
+	p.m.reorderPending = c.Gauge(prefix + ".reorder.pending")
+	p.m.reorderHeld = c.Counter(prefix + ".reorder.held")
+	for i, s := range p.stages {
+		sp := fmt.Sprintf("%s.stage.%d", prefix, i)
+		p.m.service[i] = c.Histogram(sp + ".service_ns")
+		p.m.blocked[i] = c.Counter(sp + ".blocked_ns")
+		p.m.queueSum[i] = c.Counter(sp + ".queue_sum")
+		p.m.replicas[i] = c.Gauge(sp + ".replicas")
+		c.SetLabel(sp+".label", s.Name)
+	}
 	return p
 }
 
@@ -215,13 +271,25 @@ func (p *Pipeline[T]) Process(items []*T) []*T {
 }
 
 func (p *Pipeline[T]) processSequential(items []*T) []*T {
+	var wallStart time.Time
+	if p.m.enabled {
+		wallStart = time.Now()
+		for i := range p.stages {
+			p.m.replicas[i].Set(1)
+		}
+	}
 	for _, it := range items {
 		for i := range p.stages {
 			start := time.Now()
 			p.stages[i].Fn(it)
-			p.counters[i].busyNanos.Add(int64(time.Since(start)))
+			d := time.Since(start)
+			p.counters[i].busyNanos.Add(int64(d))
 			p.counters[i].items.Add(1)
+			p.m.service[i].Record(int64(d))
 		}
+	}
+	if p.m.enabled {
+		p.m.wall.Add(int64(time.Since(wallStart)))
 	}
 	return items
 }
@@ -233,6 +301,16 @@ func (p *Pipeline[T]) processSequential(items []*T) []*T {
 // point.
 func (p *Pipeline[T]) Run(in <-chan *T) <-chan *T {
 	segs := p.plan()
+	var wallStart time.Time
+	if p.m.enabled {
+		wallStart = time.Now()
+		p.m.queueCap.Set(int64(p.buf.Value))
+		for _, sg := range segs {
+			for k := sg.lo; k <= sg.hi; k++ {
+				p.m.replicas[k].Set(int64(sg.replication))
+			}
+		}
+	}
 	// StreamGenerator (PLPL): the implicit first stage numbering the
 	// continuous stream so replicated stages can restore order.
 	gen := make(chan seqItem[T], p.buf.Value)
@@ -252,6 +330,9 @@ func (p *Pipeline[T]) Run(in <-chan *T) <-chan *T {
 	go func() {
 		for it := range cur {
 			out <- it.v
+		}
+		if p.m.enabled {
+			p.m.wall.Add(int64(time.Since(wallStart)))
 		}
 		close(out)
 	}()
@@ -315,17 +396,34 @@ func (p *Pipeline[T]) runSegment(sg segment, in chan seqItem[T]) chan seqItem[T]
 	out := make(chan seqItem[T], p.buf.Value)
 	var wg sync.WaitGroup
 	wg.Add(sg.replication)
+	queueSum := p.m.queueSum[sg.lo]
+	blocked := p.m.blocked[sg.lo]
 	for w := 0; w < sg.replication; w++ {
 		go func() {
 			defer wg.Done()
 			for it := range in {
+				queueSum.Add(int64(len(in)))
 				for k := sg.lo; k <= sg.hi; k++ {
 					start := time.Now()
 					p.stages[k].Fn(it.v)
-					p.counters[k].busyNanos.Add(int64(time.Since(start)))
+					d := time.Since(start)
+					p.counters[k].busyNanos.Add(int64(d))
 					p.counters[k].items.Add(1)
+					p.m.service[k].Record(int64(d))
 				}
-				out <- it
+				if blocked == nil {
+					out <- it
+					continue
+				}
+				// Only pay for clock reads when the send would block:
+				// the fast path is a plain buffered send.
+				select {
+				case out <- it:
+				default:
+					start := time.Now()
+					out <- it
+					blocked.Add(int64(time.Since(start)))
+				}
 			}
 		}()
 	}
@@ -334,7 +432,7 @@ func (p *Pipeline[T]) runSegment(sg segment, in chan seqItem[T]) chan seqItem[T]
 		close(out)
 	}()
 	if sg.preserve {
-		return reorder(out, p.buf.Value)
+		return reorder(out, p.buf.Value, p.m.reorderPending, p.m.reorderHeld)
 	}
 	return out
 }

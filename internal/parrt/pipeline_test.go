@@ -388,7 +388,7 @@ func TestReorderRestoresArbitraryPermutation(t *testing.T) {
 			in <- seqItem[elem]{seq: uint64(i), v: &elem{id: i}}
 		}
 		close(in)
-		out := reorder(in, 4)
+		out := reorder(in, 4, nil, nil)
 		next := 0
 		for it := range out {
 			if int(it.seq) != next {

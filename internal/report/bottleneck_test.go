@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"patty/internal/obs"
+	"patty/internal/parrt"
+)
+
+// busy spins for roughly cost units of arithmetic; unlike sleeping it
+// accumulates real service time, so the utilization math has signal.
+func busy(cost int) int {
+	acc := 1
+	for i := 0; i < cost*400; i++ {
+		acc = acc*31 + i
+	}
+	return acc
+}
+
+// TestBottleneckTableFromLiveRun drives all three instrumented
+// pattern runtimes and checks the rendered table names each instance
+// with its headline columns — the end-to-end path patty eval uses.
+func TestBottleneckTableFromLiveRun(t *testing.T) {
+	c := obs.New()
+
+	type item struct{ v int }
+	ps := parrt.NewParams()
+	pipe := parrt.NewPipeline("vid", ps,
+		parrt.Stage[item]{Name: "decode", Replicable: true, Fn: func(it *item) { it.v += busy(1) }},
+		parrt.Stage[item]{Name: "filter", Replicable: true, Fn: func(it *item) { it.v += busy(8) }},
+		parrt.Stage[item]{Name: "encode", Replicable: true, Fn: func(it *item) { it.v += busy(1) }},
+	).Instrument(c)
+	items := make([]*item, 64)
+	for i := range items {
+		items[i] = &item{v: i}
+	}
+	pipe.Process(items)
+
+	mw := parrt.NewMasterWorker("hash", parrt.NewParams(), 4, func(n int) int {
+		return busy(n%7 + 1)
+	}).Instrument(c)
+	tasks := make([]int, 48)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	mw.Process(tasks)
+
+	pf := parrt.NewParallelFor("scale", parrt.NewParams(), 4).Instrument(c)
+	pf.For(256, func(i int) { busy(1) })
+
+	analyses := obs.Analyze(c.Snapshot())
+	if len(analyses) != 3 {
+		t.Fatalf("Analyze found %d patterns, want 3: %+v", len(analyses), analyses)
+	}
+	table := BottleneckTable(analyses)
+	t.Logf("\n%s", table)
+	for _, want := range []string{
+		"runtime bottleneck table",
+		"bottleneck", "util", "queue", "imbalance",
+		"vid", "pipeline",
+		"hash", "masterworker",
+		"scale", "parallelfor",
+		"decode", "filter", "encode",
+		"chunks:",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	// The expensive middle stage must be called out as the bottleneck.
+	var pipeAnalysis *obs.PatternAnalysis
+	for i := range analyses {
+		if analyses[i].Kind == obs.KindPipeline {
+			pipeAnalysis = &analyses[i]
+		}
+	}
+	if pipeAnalysis.BottleneckStage != 1 {
+		t.Errorf("bottleneck stage = %d (%s), want 1 (filter)",
+			pipeAnalysis.BottleneckStage, pipeAnalysis.Bottleneck())
+	}
+}
+
+// TestBottleneckTableEmpty pins the uninstrumented fallback line.
+func TestBottleneckTableEmpty(t *testing.T) {
+	out := BottleneckTable(nil)
+	if !strings.Contains(out, "no runtime metrics recorded") {
+		t.Fatalf("empty table output: %q", out)
+	}
+}

@@ -1,0 +1,120 @@
+package tuning
+
+import (
+	"strconv"
+	"strings"
+
+	"patty/internal/obs"
+)
+
+// ConfigMetrics is the observability record of one objective
+// evaluation: the assignment, its measured cost, and the per-pattern
+// analysis digested from the collector snapshot taken right after the
+// workload ran.
+type ConfigMetrics struct {
+	Assignment map[string]int
+	Cost       float64
+	Analyses   []obs.PatternAnalysis
+}
+
+// Observed couples an Objective with the obs.Collector its workload
+// writes into, closing the feedback loop the paper's process model
+// ends on (Fig. 4c): instead of treating each configuration as a
+// black-box wall-clock number, every evaluation resets the collector,
+// runs the workload, and digests a snapshot into per-pattern stage
+// utilizations, queue pressure and worker imbalance.
+//
+// Two consumers exist today: Metrics is the per-configuration metrics
+// trace (internal/report renders it as the bottleneck table), and
+// LinearSearch.Observer uses the last analysis to early-stop dimension
+// sweeps whose remaining candidates are dominated.
+type Observed struct {
+	// Collector is the collector the instrumented patterns record
+	// into. Must be non-nil; the workload's patterns are attached to
+	// it via their Instrument methods.
+	Collector *obs.Collector
+	// Metrics accumulates one entry per distinct evaluated
+	// configuration, in evaluation order.
+	Metrics []ConfigMetrics
+
+	byKey map[string][]obs.PatternAnalysis
+}
+
+// Wrap returns an Objective that resets the collector, delegates to
+// obj (which must run the instrumented workload), then snapshots and
+// analyzes the run. The evaluator caches costs by assignment, so a
+// repeated assignment reuses the analysis of its first run (see
+// AnalysesFor).
+func (o *Observed) Wrap(obj Objective) Objective {
+	return func(a map[string]int) float64 {
+		o.Collector.Reset()
+		cost := obj(a)
+		analyses := obs.Analyze(o.Collector.Snapshot())
+		if o.byKey == nil {
+			o.byKey = make(map[string][]obs.PatternAnalysis)
+		}
+		o.byKey[assignKey(a)] = analyses
+		o.Metrics = append(o.Metrics, ConfigMetrics{
+			Assignment: copyAssign(a),
+			Cost:       cost,
+			Analyses:   analyses,
+		})
+		return cost
+	}
+}
+
+// AnalysesFor returns the recorded analysis for an assignment, or nil
+// when that assignment was never evaluated through Wrap.
+func (o *Observed) AnalysesFor(a map[string]int) []obs.PatternAnalysis {
+	if o == nil {
+		return nil
+	}
+	return o.byKey[assignKey(a)]
+}
+
+// DominatesAbove reports whether every assignment that only increases
+// dimension key beyond its value in a is dominated by a itself:
+// the pipeline the key belongs to measured as saturated
+// (obs.SaturationThreshold) at a bottleneck stage this parameter does
+// not feed, so adding capacity along key cannot raise throughput.
+// This is the pruning rule of Fonseca-style runtime-feedback tuners:
+// only the bottleneck's own resources are worth sweeping.
+//
+// The rule fires for two pipeline capacity parameters:
+//
+//   - stage.<i>.replication when the saturated bottleneck is a stage
+//     j != i (replicating a non-bottleneck stage is pure overhead);
+//   - buffersize when any stage is saturated (a compute-bound
+//     pipeline gains nothing from deeper queues).
+//
+// Worker-count parameters of masterworker/parallelfor are never
+// pruned — adding workers attacks the busiest-worker bottleneck
+// directly. Returns false when a was never observed.
+func (o *Observed) DominatesAbove(key string, a map[string]int) bool {
+	analyses := o.AnalysesFor(a)
+	if len(analyses) == 0 {
+		return false
+	}
+	parts := strings.Split(key, ".")
+	if len(parts) < 3 || parts[0] != obs.KindPipeline {
+		return false
+	}
+	var an *obs.PatternAnalysis
+	for i := range analyses {
+		if analyses[i].Kind == obs.KindPipeline && analyses[i].Name == parts[1] {
+			an = &analyses[i]
+			break
+		}
+	}
+	if an == nil || !an.Saturated() {
+		return false
+	}
+	switch {
+	case len(parts) == 5 && parts[2] == "stage" && parts[4] == "replication":
+		i, err := strconv.Atoi(parts[3])
+		return err == nil && i != an.BottleneckStage
+	case len(parts) == 3 && parts[2] == "buffersize":
+		return true
+	}
+	return false
+}

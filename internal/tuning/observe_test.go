@@ -1,0 +1,154 @@
+package tuning
+
+import (
+	"testing"
+
+	"patty/internal/obs"
+)
+
+// simPipeline models a two-stage pipeline deterministically: stage s
+// costs serviceNs[s] per item per lane, the run processes items
+// elements, and the wall time is the throughput bound
+// max_s(total_s / replicas_s). Each evaluation writes exactly the
+// metrics an instrumented parrt.Pipeline would record, so the test
+// exercises the real Analyze -> DominatesAbove path without timing
+// noise.
+type simPipeline struct {
+	collector *obs.Collector
+	serviceNs [2]int64
+	items     int64
+	runs      int
+}
+
+func (s *simPipeline) run(a map[string]int) float64 {
+	s.runs++
+	repl := [2]int64{int64(a["pipeline.p.stage.0.replication"]), int64(a["pipeline.p.stage.1.replication"])}
+	var wall int64
+	for i := range s.serviceNs {
+		if t := s.serviceNs[i] * s.items / repl[i]; t > wall {
+			wall = t
+		}
+	}
+	c := s.collector
+	c.Counter("pipeline.p.wall_ns").Add(wall)
+	for i := range s.serviceNs {
+		st := c.Histogram("pipeline.p.stage." + string(rune('0'+i)) + ".service_ns")
+		for j := int64(0); j < s.items; j++ {
+			st.Record(s.serviceNs[i])
+		}
+		c.Gauge("pipeline.p.stage." + string(rune('0'+i)) + ".replicas").Set(repl[i])
+	}
+	return float64(wall)
+}
+
+func simDims() []Dim {
+	return []Dim{
+		{Key: "pipeline.p.stage.0.replication", Min: 1, Max: 4},
+		{Key: "pipeline.p.stage.1.replication", Min: 1, Max: 4},
+	}
+}
+
+func simStart() map[string]int {
+	return map[string]int{
+		"pipeline.p.stage.0.replication": 1,
+		"pipeline.p.stage.1.replication": 1,
+	}
+}
+
+// TestLinearSearchEarlyStopPrunesDominated is the acceptance test for
+// bottleneck-based early stop: with stage 1 four times as expensive as
+// stage 0, every configuration that replicates stage 0 while stage 1
+// is saturated is dominated. The observed search must skip those
+// configurations, spend fewer evaluations than the blind search, and
+// still find the same optimum.
+func TestLinearSearchEarlyStopPrunesDominated(t *testing.T) {
+	blind := &simPipeline{collector: obs.New(), serviceNs: [2]int64{100, 400}, items: 100}
+	blindRes := LinearSearch{}.Tune(simDims(), simStart(), blind.run, 100)
+
+	sim := &simPipeline{collector: obs.New(), serviceNs: [2]int64{100, 400}, items: 100}
+	o := &Observed{Collector: sim.collector}
+	res := LinearSearch{Observer: o}.Tune(simDims(), simStart(), o.Wrap(sim.run), 100)
+
+	if res.Pruned == 0 {
+		t.Fatal("observer-guided search pruned nothing")
+	}
+	if res.Evaluations >= blindRes.Evaluations {
+		t.Fatalf("observed search used %d evaluations, blind used %d — pruning saved nothing",
+			res.Evaluations, blindRes.Evaluations)
+	}
+	if res.BestCost != blindRes.BestCost {
+		t.Fatalf("observed best cost %.0f != blind best cost %.0f", res.BestCost, blindRes.BestCost)
+	}
+	// The optimum balances both stages: stage 1 fully replicated.
+	if got := res.Best["pipeline.p.stage.1.replication"]; got != 4 {
+		t.Fatalf("best stage-1 replication = %d, want 4 (assignment %v)", got, res.Best)
+	}
+	t.Logf("blind: %d evals; observed: %d evals, %d pruned", blindRes.Evaluations, res.Evaluations, res.Pruned)
+}
+
+// TestObservedMetricsTrace checks requirement (b): each evaluated
+// configuration leaves one ConfigMetrics entry whose analysis carries
+// the per-stage utilizations of that very run.
+func TestObservedMetricsTrace(t *testing.T) {
+	sim := &simPipeline{collector: obs.New(), serviceNs: [2]int64{100, 400}, items: 100}
+	o := &Observed{Collector: sim.collector}
+	res := LinearSearch{Observer: o}.Tune(simDims(), simStart(), o.Wrap(sim.run), 100)
+
+	if len(o.Metrics) != res.Evaluations {
+		t.Fatalf("metrics trace has %d entries, want %d (one per evaluation)",
+			len(o.Metrics), res.Evaluations)
+	}
+	for i, m := range o.Metrics {
+		if len(m.Analyses) != 1 {
+			t.Fatalf("trace[%d]: %d analyses, want 1", i, len(m.Analyses))
+		}
+		a := m.Analyses[0]
+		if a.Kind != obs.KindPipeline || a.Name != "p" || len(a.Stages) != 2 {
+			t.Fatalf("trace[%d]: unexpected analysis %+v", i, a)
+		}
+		if a.BottleneckUtil <= 0 || a.WallNs <= 0 || m.Cost != float64(a.WallNs) {
+			t.Fatalf("trace[%d]: analysis not populated from the run: %+v (cost %.0f)", i, a, m.Cost)
+		}
+	}
+	// The recorded analysis must survive evaluator cache hits.
+	if got := o.AnalysesFor(simStart()); len(got) != 1 {
+		t.Fatalf("AnalysesFor(start) = %v", got)
+	}
+	if o.AnalysesFor(map[string]int{"never": 1}) != nil {
+		t.Fatal("AnalysesFor must return nil for unseen assignments")
+	}
+}
+
+// TestDominatesAboveRules pins the pruning rule table.
+func TestDominatesAboveRules(t *testing.T) {
+	sim := &simPipeline{collector: obs.New(), serviceNs: [2]int64{100, 400}, items: 100}
+	o := &Observed{Collector: sim.collector}
+	obj := o.Wrap(sim.run)
+	start := simStart()
+	obj(start) // stage 1 saturated, stage 0 at 0.25
+
+	cases := []struct {
+		key  string
+		want bool
+	}{
+		{"pipeline.p.stage.0.replication", true},      // non-bottleneck stage
+		{"pipeline.p.stage.1.replication", false},     // the bottleneck itself
+		{"pipeline.p.buffersize", true},               // compute-bound: buffers can't help
+		{"pipeline.other.stage.0.replication", false}, // different pipeline, no data
+		{"masterworker.p.workers", false},             // worker counts never pruned
+		{"parallelfor.p.chunksize", false},
+		{"pipeline.p.sequentialexecution", false}, // not a capacity parameter
+	}
+	for _, tc := range cases {
+		if got := o.DominatesAbove(tc.key, start); got != tc.want {
+			t.Errorf("DominatesAbove(%q) = %v, want %v", tc.key, got, tc.want)
+		}
+	}
+	if o.DominatesAbove("pipeline.p.stage.0.replication", map[string]int{"unseen": 1}) {
+		t.Error("unseen assignment must not dominate")
+	}
+	var nilObs *Observed
+	if nilObs.AnalysesFor(start) != nil {
+		t.Error("nil Observed must return nil analyses")
+	}
+}

@@ -125,6 +125,10 @@ type Result struct {
 	// Trace records (evaluation index, cost) pairs of improving steps
 	// for the Fig. 4c runtime-tuning visualization.
 	Trace []TracePoint
+	// Pruned counts candidate configurations skipped without
+	// evaluation because runtime metrics proved them dominated
+	// (LinearSearch with an Observer; see Observed.DominatesAbove).
+	Pruned int
 }
 
 // TracePoint is one improving step of a tuning run.
@@ -220,13 +224,22 @@ func clampDim(d Dim, v int) int {
 // time by sweeping its whole range while holding the others fixed,
 // then move to the next dimension, cycling until the budget is spent
 // or a full cycle brings no improvement.
-type LinearSearch struct{}
+type LinearSearch struct {
+	// Observer, when non-nil, supplies runtime metrics for each
+	// evaluated configuration (wire the workload through
+	// Observer.Wrap). The search then cuts each ascending dimension
+	// sweep as soon as the measured analysis proves the remaining
+	// larger values dominated — the workload's bottleneck is already
+	// saturated somewhere this dimension cannot relieve. Skipped
+	// candidates are counted in Result.Pruned.
+	Observer *Observed
+}
 
 // Name implements Tuner.
 func (LinearSearch) Name() string { return "linear" }
 
 // Tune implements Tuner.
-func (LinearSearch) Tune(dims []Dim, start map[string]int, obj Objective, budget int) Result {
+func (ls LinearSearch) Tune(dims []Dim, start map[string]int, obj Objective, budget int) Result {
 	e := newEvaluator(obj, budget, start)
 	cur := copyAssign(start)
 	e.eval(cur)
@@ -242,6 +255,10 @@ func (LinearSearch) Tune(dims []Dim, start map[string]int, obj Objective, budget
 					bestC, bestV = c, v
 				}
 				if e.exhausted() {
+					break
+				}
+				if ls.Observer != nil && v < d.Max && ls.Observer.DominatesAbove(d.Key, cand) {
+					e.res.Pruned += (d.Max - v) / d.step()
 					break
 				}
 			}
