@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint eval study examples clean
+.PHONY: all build test race fuzz bench lint eval study examples clean
 
 all: build test
 
@@ -13,7 +13,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parrt/ ./internal/sched/ ./internal/obs/
+	$(GO) test -race ./...
+
+# fuzz is the differential gate CI runs on every PR: generated
+# programs through detect -> transform -> execute against the
+# sequential oracle, then short native fuzzing bursts.
+fuzz:
+	$(GO) run ./cmd/patty fuzz -seed 1 -n 50
+	$(GO) test ./internal/difftest -run '^$$' -fuzz 'FuzzDifferential$$' -fuzztime 30s
+	$(GO) test ./internal/difftest -run '^$$' -fuzz FuzzDifferentialPipeline -fuzztime 30s
 
 # lint fails when any file needs gofmt or go vet finds an issue; CI
 # runs this on every push (see .github/workflows/ci.yml).

@@ -20,7 +20,9 @@ package patty
 // output is the artifact) and reports the headline numbers as metrics.
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -35,10 +37,26 @@ import (
 	"patty/internal/perfmodel"
 	"patty/internal/ptest"
 	"patty/internal/sched"
+	"patty/internal/seed"
 	"patty/internal/source"
 	"patty/internal/study"
 	"patty/internal/tuning"
 )
+
+// benchSeed is the repo-wide deterministic base seed (README
+// "Reproducibility"): it drives the study simulation and, via
+// corpus.SetBaseSeed, every corpus workload generator. The default
+// regenerates the committed tables bit for bit; any other value
+// re-randomizes all inputs coherently, e.g.
+//
+//	go test -bench=. -benchtime 1x -seed 99 .
+var benchSeed = flag.Int64("seed", seed.Default, "base seed for the study simulation and corpus workloads")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	corpus.SetBaseSeed(*benchSeed)
+	os.Exit(m.Run())
+}
 
 var printOnce sync.Map
 
@@ -51,7 +69,7 @@ func printHeader(name, body string) {
 // --- E1-E5: user study tables -------------------------------------------
 
 func studyResults() *study.Results {
-	return study.Run(study.DefaultSeed, study.PaperOutcome())
+	return study.Run(*benchSeed, study.PaperOutcome())
 }
 
 func BenchmarkTable1_Comprehensibility(b *testing.B) {

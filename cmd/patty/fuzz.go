@@ -1,0 +1,88 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"patty/internal/difftest"
+	"patty/internal/seed"
+)
+
+// cmdFuzz drives the differential fuzzing harness: generate programs,
+// run each through detect → TADL → transform → parrt against the
+// sequential oracle, shrink any divergence to a minimal reproducer and
+// persist it. Exit status is non-zero when a divergence survives, so
+// the command doubles as a CI gate.
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	baseSeed := fs.Int64("seed", seed.Default, "base seed; program i is generated from seed.Mix(seed, i)")
+	n := fs.Int("n", 200, "number of generated programs")
+	shrink := fs.Bool("shrink", true, "delta-debug divergences to minimal reproducers")
+	configs := fs.Int("configs", 3, "random tuning configurations per candidate")
+	static := fs.Bool("static", false, "skip dynamic model enrichment")
+	schedEvery := fs.Int("sched-every", 25, "schedule-explore every k-th program (0: never)")
+	reproDir := fs.String("repro-dir", "patty-out", "directory for reproducer files")
+	checkSeed := fs.Int64("check-seed", 0, "replay one exact program seed (from a reproducer file) and exit")
+	fs.Parse(args)
+
+	opt := difftest.Options{Configs: *configs, Static: *static}
+
+	replay := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "check-seed" {
+			replay = true
+		}
+	})
+	if replay {
+		opt.Sched = true
+		return fuzzOne(difftest.Generate(*checkSeed, difftest.GenOptions{}), opt, *shrink, *reproDir)
+	}
+
+	kinds := make(map[string]int)
+	divergences := 0
+	for i := 0; i < *n; i++ {
+		p := difftest.Generate(seed.Mix(*baseSeed, int64(i)), difftest.GenOptions{})
+		opt.Sched = *schedEvery > 0 && i%*schedEvery == 0
+		res := difftest.Check(p, opt)
+		kinds[res.Kind]++
+		if res.Div == nil {
+			continue
+		}
+		divergences++
+		if err := fuzzOne(p, opt, *shrink, *reproDir); err != nil {
+			fmt.Println(err)
+		}
+	}
+	fmt.Printf("checked %d programs (base seed %d): ", *n, *baseSeed)
+	for i, k := range []string{"data-parallel", "master-worker", "pipeline", "rejected"} {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %d", k, kinds[k])
+	}
+	fmt.Printf("; %d divergence(s)\n", divergences)
+	if divergences > 0 {
+		return fmt.Errorf("%d divergence(s) found", divergences)
+	}
+	return nil
+}
+
+// fuzzOne checks a single program and, on divergence, shrinks it and
+// writes the reproducer file.
+func fuzzOne(p *difftest.Prog, opt difftest.Options, shrink bool, reproDir string) error {
+	res := difftest.Check(p, opt)
+	if res.Div == nil {
+		fmt.Printf("seed %d: %s, no divergence\n", p.Seed, res.Kind)
+		return nil
+	}
+	d := res.Div
+	small := p
+	if shrink {
+		small, d = difftest.Shrink(p, opt, 0)
+	}
+	path, err := difftest.WriteRepro(reproDir, small, d)
+	if err != nil {
+		return fmt.Errorf("divergence %s (failed to write reproducer: %v)", d, err)
+	}
+	return fmt.Errorf("divergence %s\n  reproducer: %s (%d loop lines)", d, path, small.LoopLines())
+}

@@ -14,6 +14,8 @@
 //	eval       corpus precision/recall (paper §5)
 //	corpus     list the benchmark corpus
 //	sweep      performance-model sweeps (cores / replication / length)
+//	fuzz       differential fuzzing of the whole pipeline against the
+//	           sequential oracle (generated programs, shrunk repros)
 package main
 
 import (
@@ -74,6 +76,8 @@ func main() {
 		err = cmdSweep(args)
 	case "model":
 		err = cmdModel(args)
+	case "fuzz":
+		err = cmdFuzz(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -121,7 +125,10 @@ commands:
   eval      [-static]                   corpus precision/recall vs baselines
   corpus                                list benchmark programs
   model     [-corpus name | files...] [-dot cfg|callgraph|stages] [-fn name]
-  sweep     [-kind cores|replication|length]`)
+  sweep     [-kind cores|replication|length]
+  fuzz      [-seed n] [-n m] [-shrink] [-check-seed s]
+            differential fuzzing: generated programs through
+            detect -> transform -> execute vs the sequential oracle`)
 }
 
 // loadSources reads files or a corpus program.

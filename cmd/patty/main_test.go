@@ -263,3 +263,27 @@ func TestRuntimeProbeAnalyses(t *testing.T) {
 		}
 	}
 }
+
+func TestCmdFuzzClean(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdFuzz([]string{"-seed", "1", "-n", "30", "-sched-every", "15"})
+	})
+	if err != nil {
+		t.Fatalf("fuzz found divergences: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "checked 30 programs") || !strings.Contains(out, "0 divergence(s)") {
+		t.Errorf("fuzz output:\n%s", out)
+	}
+}
+
+func TestCmdFuzzCheckSeed(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdFuzz([]string{"-check-seed", "0"})
+	})
+	if err != nil {
+		t.Fatalf("check-seed replay diverged: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "seed 0:") || !strings.Contains(out, "no divergence") {
+		t.Errorf("check-seed output:\n%s", out)
+	}
+}

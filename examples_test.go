@@ -1,7 +1,11 @@
 package patty
 
-// Smoke tests that build and execute the example binaries — the
-// examples are part of the public deliverable and must keep working.
+// Tests that build and execute the example binaries — the examples are
+// part of the public deliverable and must keep working. Assertions pin
+// concrete output values (detected locations, generated signatures,
+// parameter values, schedule counts, seeded study numbers), not just
+// phrase presence; timing-dependent lines (ms, speedups) are only
+// checked for shape.
 
 import (
 	"os"
@@ -21,22 +25,38 @@ func runExample(t *testing.T, path string) string {
 	return string(out)
 }
 
+func assertContains(t *testing.T, out string, wants ...string) {
+	t.Helper()
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
 func TestExampleQuickstart(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs subprocesses")
 	}
 	out := runExample(t, "./examples/quickstart")
-	for _, want := range []string{
-		"forall(A+)",
-		"//tadl:arch",
-		"parrt.NewParallelFor",
-		"parrt.Reduce",
-		"PLDD: carried dependences span the whole body",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("quickstart output missing %q", want)
-		}
-	}
+	assertContains(t, out,
+		// Detection verdicts with their exact source locations.
+		"demo.go:5:2    data-parallel  TADL: forall(A+)",
+		"demo.go:13:2   data-parallel  TADL: forall(A+)",
+		"demo.go:21:2   PLDD: carried dependences span the whole body",
+		// Annotated source carries the directives at the loops.
+		"//tadl:arch forall forall(A+)",
+		"//tadl:stage A",
+		// Generated code: exact signatures and runtime calls.
+		"func BrightenParallel(ps *parrt.Params, in, out []int, gain int)",
+		"func NormParallel(ps *parrt.Params, in []int) int {",
+		`pattyPF := parrt.NewParallelFor("Brighten.L0", ps, 0)`,
+		"total = total + parrt.Reduce(pattyPF, len(in), 0, func(i int) int {",
+		// Tuning configuration values (defaults are deterministic).
+		"parallelfor.Brighten.L0.chunksize                            = 64  [64..64]",
+		"parallelfor.Norm.L1.workers                                  = 0  [0..0]",
+		"2 parallel unit test(s) generated",
+	)
 }
 
 func TestExampleVideoPipeline(t *testing.T) {
@@ -44,15 +64,27 @@ func TestExampleVideoPipeline(t *testing.T) {
 		t.Skip("runs subprocesses with sleeps")
 	}
 	out := runExample(t, "./examples/videopipeline")
-	for _, want := range []string{
-		"(A || B || C+) => D => E",
-		"buggy=false",
-		"results identical to sequential",
-		"speedup pipeline vs sequential",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("videopipeline output missing %q:\n%s", want, out)
-		}
+	assertContains(t, out,
+		// Phase summary values.
+		"1 candidate(s), 2 rejection(s)",
+		"1 generated file(s), 16 tuning parameter(s), 1 parallel unit test(s)",
+		"detected architecture (Fig. 3b): (A || B || C+) => D => E",
+		// Generated pipeline code excerpt.
+		"func ProcessParallel(ps *parrt.Params, aviIn *AviStream) *AviStream {",
+		`pattyPL := parrt.NewPipeline("Process.L1", ps,`,
+		`parrt.Group("A_B_C", true,`,
+		// Scheduler exploration: exact schedule count, zero defects.
+		"3000 schedule(s): 0 race(s), 0 deadlock(s), 0 failure(s)",
+		"unit test Process.L1.pipeline: 3000 schedules, buggy=false",
+		// 48 frames through 3 runtime executions = 144 items per stage.
+		"items= 144",
+	)
+	// All three runtime executions must produce the sequential result.
+	if n := strings.Count(out, "(results identical to sequential)"); n != 3 {
+		t.Errorf("got %d identical-result executions, want 3", n)
+	}
+	if !strings.Contains(out, "speedup pipeline vs sequential") {
+		t.Error("output missing speedup summary")
 	}
 }
 
@@ -61,10 +93,23 @@ func TestExampleIndexer(t *testing.T) {
 		t.Skip("runs subprocesses with sleeps")
 	}
 	out := runExample(t, "./examples/indexer")
-	for _, want := range []string{"index identical", "best configuration", "speedup vs sequential"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("indexer output missing %q:\n%s", want, out)
-		}
+	// The corpus is fixed, so the distinct-term count is a value, not
+	// a timing artifact.
+	assertContains(t, out,
+		"10 distinct terms",
+		"best configuration:",
+		"pipeline.indexer.stage.0.replication",
+		"pipeline.indexer.buffersize",
+		"speedup vs sequential",
+	)
+	// The untuned run prints its identical-index check; the tuned runs
+	// verify via log.Fatalf (which would fail runExample), so reaching
+	// the evaluation summary proves every tuned index matched too.
+	if n := strings.Count(out, "(index identical)"); n != 1 {
+		t.Errorf("got %d identical-index checks, want 1", n)
+	}
+	if !strings.Contains(out, "tuning evaluations") {
+		t.Error("output missing tuning-evaluation summary")
 	}
 }
 
@@ -73,13 +118,22 @@ func TestExampleRaytrace(t *testing.T) {
 		t.Skip("slow: full dynamic model of the raytracer")
 	}
 	out := runExample(t, "./examples/raytrace")
-	for _, want := range []string{
-		"patty flags 3 location(s)",
-		"hotspot-profiler flags 1 location(s)",
-		"Effectivity",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("raytrace output missing %q:\n%s", want, out)
-		}
-	}
+	assertContains(t, out,
+		"benchmark: raytrace (188 LoC, 3 ground-truth locations)",
+		// Patty finds all three ground-truth loops, at exact positions.
+		"patty flags 3 location(s):",
+		"Renderer.Render at raytrace.go:168:2",
+		"NormalizeLights at raytrace.go:177:2",
+		"ApplyGamma at raytrace.go:183:2",
+		// The baselines miss the cheap loops.
+		"hotspot-profiler flags 1 location(s):",
+		"static-conservative flags 2 location(s):",
+		// Seeded user-study model (study.DefaultSeed): the Fig. 5
+		// numbers are deterministic.
+		"Figure 5b. Time Measurements (in minutes)",
+		"39.09",
+		"45.83",
+		"32.57",
+		"Effectivity (ground truth: 3 locations; Patty tool reports 3, plain profiler reveals 1)",
+	)
 }

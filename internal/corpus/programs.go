@@ -3,6 +3,7 @@ package corpus
 import (
 	"patty/internal/interp"
 	"patty/internal/pattern"
+	"patty/internal/seed"
 )
 
 // intSlice builds a traced slice of int64 values from a generator.
@@ -23,9 +24,22 @@ func floatSlice(m *interp.Machine, n int, f func(i int) float64) *interp.Slice {
 	return m.NewSlice(vals...)
 }
 
-// lcg is the deterministic input generator used by the workloads.
-func lcg(seed int64) func() int64 {
-	v := seed
+// baseSeed parameterizes every workload generator. At seed.Default
+// the derived streams are bit-identical to the historical fixed salts
+// (seed.Derive is the identity there), so default runs keep
+// reproducing the committed tables; any other base — e.g. the bench
+// harness's -seed flag — re-randomizes all workloads coherently.
+var baseSeed int64 = seed.Default
+
+// SetBaseSeed re-seeds workload generation for every program. Call it
+// before building workloads (the generators read it lazily).
+func SetBaseSeed(s int64) { baseSeed = s }
+
+// lcg is the deterministic input generator used by the workloads;
+// each call site derives its stream from the shared base seed plus a
+// distinct salt.
+func lcg(salt int64) func() int64 {
+	v := seed.Derive(baseSeed, salt)
 	return func() int64 {
 		v = (v*1103515245 + 12345) % 2147483647
 		if v < 0 {

@@ -1,0 +1,269 @@
+package difftest
+
+import (
+	"math/rand"
+)
+
+// Shape selects the dependence structure of a generated program —
+// which detection rule (and which parrt pattern) it must exercise.
+type Shape int
+
+const (
+	// ShapeAny mixes all shapes with fixed weights.
+	ShapeAny Shape = iota
+	// ShapeForall is an independent regular body (data-parallel),
+	// optionally with one recognized reduction.
+	ShapeForall
+	// ShapeMaster is an independent irregular body (data-dependent
+	// control flow; master/worker).
+	ShapeMaster
+	// ShapePipeline mixes carried statements with independent ones
+	// (stage-shaped chains).
+	ShapePipeline
+	// ShapeNegative is a near-miss the detector must reject: a body
+	// whose carried dependences span everything, or a loop-exiting
+	// break (PLCD).
+	ShapeNegative
+)
+
+// GenOptions tunes generation.
+type GenOptions struct {
+	Shape Shape
+}
+
+// gctx carries generator state while a body is being built.
+type gctx struct {
+	r     *rand.Rand
+	nIn   int
+	temps int // temps defined so far (readable by later exprs)
+	outs  int
+	accs  int
+}
+
+// expr builds a random expression over the loop index, input loads
+// and already-defined temps.
+func (g *gctx) expr(depth int) *Expr {
+	if depth <= 0 || g.r.Intn(100) < 45 {
+		switch pick := g.r.Intn(100); {
+		case pick < 15:
+			return &Expr{Kind: EIndex}
+		case pick < 35:
+			return &Expr{Kind: EConst, Val: int64(g.r.Intn(10))}
+		case pick < 70 || g.temps == 0:
+			off := 0
+			if g.r.Intn(100) < 30 {
+				off = 1
+			}
+			return &Expr{Kind: ELoad, Slice: g.r.Intn(g.nIn), Off: off}
+		default:
+			return &Expr{Kind: ETemp, Temp: g.r.Intn(g.temps)}
+		}
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor}
+	return &Expr{
+		Kind: EBin,
+		Op:   ops[g.r.Intn(len(ops))],
+		X:    g.expr(depth - 1),
+		Y:    g.expr(depth - 1),
+	}
+}
+
+func (g *gctx) tempStmt() *Stmt {
+	s := &Stmt{Kind: StTemp, Temp: g.temps, E: g.expr(2)}
+	g.temps++
+	return s
+}
+
+func (g *gctx) writeStmt() *Stmt {
+	s := &Stmt{Kind: StWrite, Out: g.outs, E: g.expr(2)}
+	g.outs++
+	return s
+}
+
+func (g *gctx) reduceStmt() *Stmt {
+	ops := []Op{OpAdd, OpMul, OpAnd, OpOr, OpXor}
+	s := &Stmt{Kind: StReduce, Acc: g.accs, Op: ops[g.r.Intn(len(ops))], E: g.expr(2)}
+	g.accs++
+	return s
+}
+
+func (g *gctx) carryStmt() *Stmt {
+	s := &Stmt{Kind: StCarry, Acc: g.accs, E: g.expr(2)}
+	if g.r.Intn(2) == 1 {
+		s.K = int64(2 + g.r.Intn(2)) // non-commutative: acc = acc*K + e
+	}
+	g.accs++
+	return s
+}
+
+func (g *gctx) recurStmt() *Stmt {
+	ops := []Op{OpAdd, OpXor, OpOr}
+	s := &Stmt{Kind: StRecur, Out: g.outs, Op: ops[g.r.Intn(len(ops))], E: g.expr(2)}
+	g.outs++
+	return s
+}
+
+func (g *gctx) ifStmt() *Stmt {
+	masks := []int64{1, 3, 7}
+	m := masks[g.r.Intn(len(masks))]
+	s := &Stmt{
+		Kind: StIf, Out: g.outs,
+		K: m, CmpK: int64(g.r.Intn(int(m) + 1)),
+		Cond: g.expr(1), E: g.expr(2), E2: g.expr(2),
+	}
+	g.outs++
+	return s
+}
+
+func (g *gctx) condExitStmt(kind StmtKind) *Stmt {
+	masks := []int64{3, 7}
+	m := masks[g.r.Intn(len(masks))]
+	return &Stmt{Kind: kind, K: m, CmpK: int64(g.r.Intn(int(m) + 1)), E: g.expr(1)}
+}
+
+// condExitAt builds a conditional continue/break that will be
+// inserted at body position pos: its condition may only read temps
+// already defined by the statements before pos.
+func (g *gctx) condExitAt(kind StmtKind, body []*Stmt, pos int) *Stmt {
+	avail := 0
+	for _, s := range body[:pos] {
+		if s.Kind == StTemp {
+			avail++
+		}
+	}
+	saved := g.temps
+	g.temps = avail
+	s := g.condExitStmt(kind)
+	g.temps = saved
+	return s
+}
+
+// Generate builds a deterministic random program from a seed. The
+// same (seed, options) pair always yields the identical program, so
+// any failure reproduces from its seed alone.
+func Generate(seedVal int64, opt GenOptions) *Prog {
+	r := rand.New(rand.NewSource(seedVal))
+	shape := opt.Shape
+	if shape == ShapeAny {
+		switch pick := r.Intn(100); {
+		case pick < 30:
+			shape = ShapeForall
+		case pick < 50:
+			shape = ShapeMaster
+		case pick < 85:
+			shape = ShapePipeline
+		default:
+			shape = ShapeNegative
+		}
+	}
+
+	g := &gctx{r: r, nIn: 1 + r.Intn(3)}
+	p := &Prog{
+		Seed: seedVal,
+		N:    8 + r.Intn(40),
+		NIn:  g.nIn,
+	}
+
+	switch shape {
+	case ShapeForall:
+		nStmts := 2 + r.Intn(4)
+		for len(p.Body) < nStmts {
+			switch pick := r.Intn(100); {
+			case pick < 35 && g.temps < 4:
+				p.Body = append(p.Body, g.tempStmt())
+			case pick < 75 || g.accs > 0:
+				p.Body = append(p.Body, g.writeStmt())
+			default:
+				// At most one reduction: the transformer supports a
+				// single accumulator per data-parallel loop.
+				p.Body = append(p.Body, g.reduceStmt())
+			}
+		}
+		if g.outs == 0 && g.accs == 0 {
+			p.Body = append(p.Body, g.writeStmt())
+		}
+
+	case ShapeMaster:
+		// Irregular: at least one data-dependent branch, no
+		// reductions (transform does not mix them with task queues).
+		if r.Intn(100) < 40 {
+			p.Body = append(p.Body, g.tempStmt())
+		}
+		p.Body = append(p.Body, g.ifStmt())
+		for extra := r.Intn(3); extra > 0; extra-- {
+			if r.Intn(2) == 0 {
+				p.Body = append(p.Body, g.writeStmt())
+			} else {
+				p.Body = append(p.Body, g.ifStmt())
+			}
+		}
+		if r.Intn(100) < 25 {
+			// A continue keeps the loop independent but irregular;
+			// insert after the first statement.
+			s := g.condExitAt(StContinueIf, p.Body, 1)
+			rest := append([]*Stmt{s}, p.Body[1:]...)
+			p.Body = append(p.Body[:1], rest...)
+		}
+
+	case ShapePipeline:
+		// First statement stays independent so at least one stage
+		// boundary survives the PLDD merge.
+		if r.Intn(2) == 0 {
+			p.Body = append(p.Body, g.tempStmt())
+		} else {
+			p.Body = append(p.Body, g.writeStmt())
+		}
+		nCarried := 1 + r.Intn(2)
+		for c := 0; c < nCarried; c++ {
+			if r.Intn(100) < 35 {
+				p.Body = append(p.Body, g.recurStmt())
+			} else {
+				p.Body = append(p.Body, g.carryStmt())
+			}
+			// Interleave independent work between carried statements.
+			if r.Intn(100) < 70 {
+				if r.Intn(100) < 40 && g.temps < 4 {
+					p.Body = append(p.Body, g.tempStmt())
+				} else {
+					p.Body = append(p.Body, g.writeStmt())
+				}
+			}
+		}
+		if r.Intn(100) < 15 {
+			// PLCD refinement: a continue glues everything after it
+			// into one stage; keep it off position 0 so the loop
+			// still splits into >= 2 stages.
+			s := g.condExitAt(StContinueIf, p.Body, 1)
+			rest := append([]*Stmt{s}, p.Body[1:]...)
+			p.Body = append(p.Body[:1], rest...)
+		}
+
+	case ShapeNegative:
+		if r.Intn(2) == 0 {
+			// Carried dependences span the whole body: one stage
+			// remains, PLDD must reject.
+			if r.Intn(2) == 0 {
+				p.Body = append(p.Body, g.carryStmt())
+			} else {
+				p.Body = append(p.Body, g.recurStmt())
+			}
+		} else {
+			// A break leaves the loop: PLCD must reject.
+			p.Body = append(p.Body, g.writeStmt())
+			p.Body = append(p.Body, g.condExitStmt(StBreakIf))
+			if r.Intn(2) == 0 {
+				p.Body = append(p.Body, g.writeStmt())
+			}
+		}
+	}
+
+	p.NTemp = g.temps
+	p.NOut = g.outs
+	p.NAcc = g.accs
+	p.AccInit = make([]int64, g.accs)
+	for a := range p.AccInit {
+		p.AccInit[a] = int64(r.Intn(5))
+	}
+	p.normalize()
+	return p
+}

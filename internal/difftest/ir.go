@@ -1,0 +1,508 @@
+// Package difftest is the end-to-end differential fuzzing harness:
+// a seeded generator for mini-language programs with controllable
+// dependence structure, a driver that compares a sequential
+// interpreter oracle against the full detect → TADL → transform path
+// executed on the parrt runtime under sampled tuning configurations,
+// and a delta-debugging shrinker that reduces any divergence to a
+// minimal reproducer.
+//
+// The harness closes the validation gap left by the paper's parallel
+// unit tests (internal/ptest + internal/sched): those check abstract
+// access interleavings of one candidate, while difftest checks that
+// the whole pipeline preserves input/output semantics on real
+// executions (the ComPar-style output-equivalence gate of PAPERS.md).
+package difftest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a binary integer operator. All difftest arithmetic is int64
+// with Go wraparound semantics, which the interpreter shares, so
+// oracle and parallel results compare exactly.
+type Op int
+
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpAnd:
+		return "&"
+	case OpOr:
+		return "|"
+	case OpXor:
+		return "^"
+	}
+	return "?"
+}
+
+func (o Op) apply(a, b int64) int64 {
+	switch o {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	}
+	panic("difftest: unknown op")
+}
+
+// identity is the neutral element for reduction ops (OpSub never
+// appears as a reduction operator).
+func (o Op) identity() int64 {
+	switch o {
+	case OpAdd, OpOr, OpXor:
+		return 0
+	case OpMul:
+		return 1
+	case OpAnd:
+		return -1
+	}
+	panic("difftest: op has no identity")
+}
+
+// commutative ops keep reductions and fold-shaped carried updates
+// exact under any processing order.
+func (o Op) commutative() bool {
+	switch o {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor:
+		return true
+	}
+	return false
+}
+
+// ExprKind enumerates expression nodes.
+type ExprKind int
+
+const (
+	// EConst is a small integer literal.
+	EConst ExprKind = iota
+	// EIndex is the loop index i.
+	EIndex
+	// ELoad reads an input slice: in<Slice>[i+Off] with Off in {0,1}.
+	ELoad
+	// ETemp reads an iteration-local temporary t<Temp>.
+	ETemp
+	// EBin applies Op to X and Y.
+	EBin
+)
+
+// Expr is a side-effect-free int64 expression over the loop index,
+// the read-only input slices and earlier iteration-local temps.
+type Expr struct {
+	Kind  ExprKind
+	Val   int64 // EConst
+	Slice int   // ELoad: input slice number
+	Off   int   // ELoad: subscript offset, 0 or 1
+	Temp  int   // ETemp: temp number
+	Op    Op    // EBin
+	X, Y  *Expr // EBin
+}
+
+func (e *Expr) render() string {
+	switch e.Kind {
+	case EConst:
+		return fmt.Sprintf("%d", e.Val)
+	case EIndex:
+		return "i"
+	case ELoad:
+		if e.Off == 0 {
+			return fmt.Sprintf("in%d[i]", e.Slice)
+		}
+		return fmt.Sprintf("in%d[i+%d]", e.Slice, e.Off)
+	case ETemp:
+		return fmt.Sprintf("t%d", e.Temp)
+	case EBin:
+		// Fully parenthesized: renderer and interpreter agree on
+		// shape without precedence reasoning.
+		return "(" + e.X.render() + " " + e.Op.String() + " " + e.Y.render() + ")"
+	}
+	panic("difftest: unknown expr kind")
+}
+
+func (e *Expr) clone() *Expr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.X = e.X.clone()
+	c.Y = e.Y.clone()
+	return &c
+}
+
+// walk visits e and all children.
+func (e *Expr) walk(fn func(*Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	e.X.walk(fn)
+	e.Y.walk(fn)
+}
+
+// StmtKind enumerates the loop-body statement shapes. Each shape maps
+// onto a specific dependence structure the detector must classify.
+type StmtKind int
+
+const (
+	// StTemp defines an iteration-local temporary: t<Temp> := E.
+	// Creates intra-iteration flow deps only (stream flows, PLDS).
+	StTemp StmtKind = iota
+	// StWrite stores to an output slice: out<Out>[i] = E.
+	// Independent across iterations (equal affine offsets).
+	StWrite
+	// StRecur is an array recurrence: out<Out>[i+1] = out<Out>[i] Op E.
+	// Loop-carried with distance 1; always order-sensitive.
+	StRecur
+	// StReduce is a recognized reduction: acc<Acc> = acc<Acc> Op (E).
+	// The detector's reduction idiom; loops stay data-parallel.
+	StReduce
+	// StCarry is a scalar recurrence that is NOT the reduction idiom.
+	// K == 0 renders acc = 0 + acc + (E): a commutative fold the
+	// detector must still treat as carried (forces a pipeline).
+	// K >= 2 renders acc = acc*K + (E): non-commutative, so the
+	// pipeline must additionally preserve element order.
+	StCarry
+	// StIf is data-dependent control flow writing an output slice in
+	// both branches: irregular body, master/worker territory.
+	StIf
+	// StContinueIf skips the rest of the iteration for some elements
+	// (PLCD refinement: later statements glue to its stage).
+	StContinueIf
+	// StBreakIf leaves the loop early: PLCD must reject the loop.
+	StBreakIf
+)
+
+// Stmt is one top-level loop-body statement.
+type Stmt struct {
+	Kind StmtKind
+	Temp int   // StTemp: temp defined
+	Out  int   // StWrite/StRecur/StIf: output slice written
+	Acc  int   // StReduce/StCarry: scalar updated
+	Op   Op    // StRecur/StReduce operator
+	K    int64 // StCarry multiplier (0: commutative fold); St*If: condition mask
+	CmpK int64 // St*If: comparison constant
+	E    *Expr // main expression (StIf: then-branch value; St*If: condition operand)
+	E2   *Expr // StIf: else-branch value
+	Cond *Expr // StIf: condition operand
+}
+
+func (s *Stmt) clone() *Stmt {
+	c := *s
+	c.E = s.E.clone()
+	c.E2 = s.E2.clone()
+	c.Cond = s.Cond.clone()
+	return &c
+}
+
+// exprs lists the statement's expression slots (for shrinking).
+func (s *Stmt) exprs() []**Expr {
+	out := []**Expr{&s.E}
+	if s.E2 != nil {
+		out = append(out, &s.E2)
+	}
+	if s.Cond != nil {
+		out = append(out, &s.Cond)
+	}
+	return out
+}
+
+func (s *Stmt) render(b *strings.Builder) {
+	switch s.Kind {
+	case StTemp:
+		fmt.Fprintf(b, "\t\tt%d := %s\n", s.Temp, s.E.render())
+	case StWrite:
+		fmt.Fprintf(b, "\t\tout%d[i] = %s\n", s.Out, s.E.render())
+	case StRecur:
+		fmt.Fprintf(b, "\t\tout%d[i+1] = out%d[i] %s %s\n", s.Out, s.Out, s.Op.String(), s.E.render())
+	case StReduce:
+		fmt.Fprintf(b, "\t\tacc%d = acc%d %s (%s)\n", s.Acc, s.Acc, s.Op.String(), s.E.render())
+	case StCarry:
+		if s.K == 0 {
+			fmt.Fprintf(b, "\t\tacc%d = 0 + acc%d + (%s)\n", s.Acc, s.Acc, s.E.render())
+		} else {
+			fmt.Fprintf(b, "\t\tacc%d = acc%d*%d + (%s)\n", s.Acc, s.Acc, s.K, s.E.render())
+		}
+	case StIf:
+		fmt.Fprintf(b, "\t\tif (%s)&%d == %d {\n", s.Cond.render(), s.K, s.CmpK)
+		fmt.Fprintf(b, "\t\t\tout%d[i] = %s\n", s.Out, s.E.render())
+		fmt.Fprintf(b, "\t\t} else {\n")
+		fmt.Fprintf(b, "\t\t\tout%d[i] = %s\n", s.Out, s.E2.render())
+		b.WriteString("\t\t}\n")
+	case StContinueIf:
+		fmt.Fprintf(b, "\t\tif (%s)&%d == %d {\n\t\t\tcontinue\n\t\t}\n", s.E.render(), s.K, s.CmpK)
+	case StBreakIf:
+		fmt.Fprintf(b, "\t\tif (%s)&%d == %d {\n\t\t\tbreak\n\t\t}\n", s.E.render(), s.K, s.CmpK)
+	default:
+		panic("difftest: unknown stmt kind")
+	}
+}
+
+// Prog is one generated program: prologue fills for NIn input slices,
+// NOut output slices, NAcc scalars, then a single target loop over
+// [0, N) whose body is Body. Rendered, it is a valid Go file the
+// interpreter, the detector and the transformer all accept.
+type Prog struct {
+	Seed    int64
+	N       int
+	NIn     int
+	NOut    int
+	NAcc    int
+	NTemp   int
+	AccInit []int64
+	Body    []*Stmt
+}
+
+func (p *Prog) Clone() *Prog {
+	c := *p
+	c.AccInit = append([]int64(nil), p.AccInit...)
+	c.Body = make([]*Stmt, len(p.Body))
+	for i, s := range p.Body {
+		c.Body[i] = s.clone()
+	}
+	return &c
+}
+
+// fillVal is the deterministic prologue fill for input slice s at
+// index i; both the renderer and the native executor use it.
+func fillVal(s, i int) int64 {
+	return int64(i*(3+2*s)+7+11*s) % 193
+}
+
+// Render emits the program as a Go source file. The text parses,
+// typechecks (the transformer runs go/types over it) and interprets.
+func (p *Prog) Render() string {
+	var b strings.Builder
+	b.WriteString("package fz\n\n")
+	b.WriteString("func Kernel(n int) (")
+	var rets []string
+	for a := 0; a < p.NAcc; a++ {
+		rets = append(rets, "int")
+	}
+	for o := 0; o < p.NOut; o++ {
+		rets = append(rets, "[]int")
+	}
+	b.WriteString(strings.Join(rets, ", "))
+	b.WriteString(") {\n")
+	for s := 0; s < p.NIn; s++ {
+		fmt.Fprintf(&b, "\tin%d := make([]int, n+2)\n", s)
+		fmt.Fprintf(&b, "\tfor i := 0; i < n+2; i++ {\n")
+		fmt.Fprintf(&b, "\t\tin%d[i] = (i*%d + %d) %% 193\n", s, 3+2*s, 7+11*s)
+		b.WriteString("\t}\n")
+	}
+	for o := 0; o < p.NOut; o++ {
+		fmt.Fprintf(&b, "\tout%d := make([]int, n+2)\n", o)
+	}
+	for a := 0; a < p.NAcc; a++ {
+		fmt.Fprintf(&b, "\tacc%d := %d\n", a, p.AccInit[a])
+	}
+	b.WriteString("\tfor i := 0; i < n; i++ {\n")
+	for _, s := range p.Body {
+		s.render(&b)
+	}
+	b.WriteString("\t}\n")
+	b.WriteString("\treturn ")
+	var vals []string
+	for a := 0; a < p.NAcc; a++ {
+		vals = append(vals, fmt.Sprintf("acc%d", a))
+	}
+	for o := 0; o < p.NOut; o++ {
+		vals = append(vals, fmt.Sprintf("out%d", o))
+	}
+	b.WriteString(strings.Join(vals, ", "))
+	b.WriteString("\n}\n")
+	return b.String()
+}
+
+// LoopLines counts the rendered lines of the kernel loop — the part
+// of a reproducer a human actually reads; the surrounding prologue
+// (slice allocation, deterministic fills, return) is fixed harness
+// scaffolding. This is the shrinker's minimality metric.
+func (p *Prog) LoopLines() int {
+	lines := 2 // loop header + closing brace
+	for _, s := range p.Body {
+		switch s.Kind {
+		case StIf:
+			lines += 5
+		case StContinueIf, StBreakIf:
+			lines += 3
+		default:
+			lines++
+		}
+	}
+	return lines
+}
+
+// Lines counts the rendered source lines of the whole file.
+func (p *Prog) Lines() int {
+	return strings.Count(strings.TrimRight(p.Render(), "\n"), "\n") + 1
+}
+
+// HasCarried reports a loop-carried dependence in the body (array
+// recurrence or non-idiom scalar recurrence): ground truth the driver
+// compares against the detector's verdict.
+func (p *Prog) HasCarried() bool {
+	for _, s := range p.Body {
+		if s.Kind == StRecur || s.Kind == StCarry {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBreak reports a loop-exiting statement (PLCD must reject).
+func (p *Prog) HasBreak() bool {
+	for _, s := range p.Body {
+		if s.Kind == StBreakIf {
+			return true
+		}
+	}
+	return false
+}
+
+// Irregular reports data-dependent control flow (if/continue), which
+// turns an independent loop into a master/worker candidate.
+func (p *Prog) Irregular() bool {
+	for _, s := range p.Body {
+		if s.Kind == StIf || s.Kind == StContinueIf {
+			return true
+		}
+	}
+	return false
+}
+
+// OrderSensitive reports that the final state depends on the order in
+// which stream elements reach the carried statements: array
+// recurrences chain through memory, and non-commutative scalar
+// recurrences (acc = acc*K + e) do not fold commutatively. The config
+// sampler never disables order preservation for such programs.
+func (p *Prog) OrderSensitive() bool {
+	for _, s := range p.Body {
+		if s.Kind == StRecur || (s.Kind == StCarry && s.K != 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize drops temp definitions nothing reads (go/types rejects
+// unused variables) and compacts temp/input/output/scalar numbering so
+// shrunk programs stay well-formed. Iterates to a fixpoint because
+// removing one temp can orphan another.
+func (p *Prog) normalize() {
+	for {
+		used := make(map[int]bool)
+		for _, s := range p.Body {
+			for _, ep := range s.exprs() {
+				(*ep).walk(func(e *Expr) {
+					if e.Kind == ETemp {
+						used[e.Temp] = true
+					}
+				})
+			}
+		}
+		var kept []*Stmt
+		removed := false
+		for _, s := range p.Body {
+			if s.Kind == StTemp && !used[s.Temp] {
+				removed = true
+				continue
+			}
+			kept = append(kept, s)
+		}
+		p.Body = kept
+		if !removed {
+			break
+		}
+	}
+
+	// Compact temp numbers.
+	tempMap := make(map[int]int)
+	for _, s := range p.Body {
+		if s.Kind == StTemp {
+			if _, ok := tempMap[s.Temp]; !ok {
+				tempMap[s.Temp] = len(tempMap)
+			}
+		}
+	}
+	// Compact input slices by first use.
+	inMap := make(map[int]int)
+	for _, s := range p.Body {
+		for _, ep := range s.exprs() {
+			(*ep).walk(func(e *Expr) {
+				if e.Kind == ELoad {
+					if _, ok := inMap[e.Slice]; !ok {
+						inMap[e.Slice] = len(inMap)
+					}
+				}
+			})
+		}
+	}
+	// Compact outputs and accumulators by writing statement.
+	outMap := make(map[int]int)
+	accMap := make(map[int]int)
+	for _, s := range p.Body {
+		switch s.Kind {
+		case StWrite, StRecur, StIf:
+			if _, ok := outMap[s.Out]; !ok {
+				outMap[s.Out] = len(outMap)
+			}
+		case StReduce, StCarry:
+			if _, ok := accMap[s.Acc]; !ok {
+				accMap[s.Acc] = len(accMap)
+			}
+		}
+	}
+	newInit := make([]int64, len(accMap))
+	for old, nw := range accMap {
+		if old < len(p.AccInit) {
+			newInit[nw] = p.AccInit[old]
+		}
+	}
+	for _, s := range p.Body {
+		switch s.Kind {
+		case StTemp:
+			s.Temp = tempMap[s.Temp]
+		case StWrite, StRecur, StIf:
+			s.Out = outMap[s.Out]
+		case StReduce, StCarry:
+			s.Acc = accMap[s.Acc]
+		}
+		for _, ep := range s.exprs() {
+			(*ep).walk(func(e *Expr) {
+				switch e.Kind {
+				case ETemp:
+					e.Temp = tempMap[e.Temp]
+				case ELoad:
+					e.Slice = inMap[e.Slice]
+				}
+			})
+		}
+	}
+	p.NTemp = len(tempMap)
+	p.NIn = len(inMap)
+	p.NOut = len(outMap)
+	p.NAcc = len(accMap)
+	p.AccInit = newInit
+}

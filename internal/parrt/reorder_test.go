@@ -1,0 +1,128 @@
+package parrt
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// reorderElem is the stream element of the reorder property tests; pad
+// makes the per-element work uneven so replicated workers genuinely
+// overtake each other.
+type reorderElem struct {
+	id   int
+	pad  int
+	hits int32
+}
+
+// reorderPipeline builds a single replicated stage with skewed
+// per-element cost and the given order-preservation setting.
+func reorderPipeline(name string, preserve int) *Pipeline[reorderElem] {
+	ps := NewParams()
+	ps.Apply(map[string]int{
+		"pipeline." + name + ".stage.0.replication":       4,
+		"pipeline." + name + ".stage.0.orderpreservation": preserve,
+		"pipeline." + name + ".buffersize":                2,
+	})
+	return NewPipeline(name, ps, Stage[reorderElem]{
+		Name:       "work",
+		Replicable: true,
+		Fn: func(e *reorderElem) {
+			atomic.AddInt32(&e.hits, 1)
+			sink := 0
+			for k := 0; k < e.pad; k++ {
+				sink += k
+			}
+			e.pad = sink
+		},
+	})
+}
+
+func randomStream(r *rand.Rand, n int) []*reorderElem {
+	items := make([]*reorderElem, n)
+	for i := range items {
+		// A handful of slow elements creates maximal overtaking
+		// pressure on the elements right behind them.
+		pad := r.Intn(50)
+		if r.Intn(8) == 0 {
+			pad = 20000 + r.Intn(20000)
+		}
+		items[i] = &reorderElem{id: i, pad: pad}
+	}
+	return items
+}
+
+// TestOrderPreservationOnIsIdentity: with OrderPreservation enabled, a
+// replicated stage must emit the stream in exactly the input order, no
+// matter how workers interleave (paper §2.2: the reorder buffer is the
+// price of the ordering guarantee).
+func TestOrderPreservationOnIsIdentity(t *testing.T) {
+	f := func(s int64) bool {
+		r := rand.New(rand.NewSource(s))
+		items := randomStream(r, 1+r.Intn(200))
+		out := reorderPipeline("order_on", 1).Process(items)
+		if len(out) != len(items) {
+			return false
+		}
+		for i, e := range out {
+			if e.id != i || atomic.LoadInt32(&e.hits) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderPreservationOffIsPermutation: with OrderPreservation
+// disabled the runtime promises only multiset equality — every element
+// arrives exactly once, processed exactly once, in whatever order the
+// workers produce.
+func TestOrderPreservationOffIsPermutation(t *testing.T) {
+	f := func(s int64) bool {
+		r := rand.New(rand.NewSource(s))
+		items := randomStream(r, 1+r.Intn(200))
+		out := reorderPipeline("order_off", 0).Process(items)
+		if len(out) != len(items) {
+			return false
+		}
+		seen := make([]int, len(items))
+		for _, e := range out {
+			if e.id < 0 || e.id >= len(seen) || atomic.LoadInt32(&e.hits) != 1 {
+				return false
+			}
+			seen[e.id]++
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReorderDuplicateAndGapResidue covers the robustness drain: a
+// misbehaving producer that skips sequence numbers must not wedge the
+// reorder goroutine — everything buffered is still emitted.
+func TestReorderDuplicateAndGapResidue(t *testing.T) {
+	in := make(chan seqItem[reorderElem], 4)
+	in <- seqItem[reorderElem]{seq: 2, v: &reorderElem{id: 2}}
+	in <- seqItem[reorderElem]{seq: 1, v: &reorderElem{id: 1}}
+	// seq 0 never arrives.
+	close(in)
+	out := reorder(in, 4, nil, nil)
+	var got []int
+	for it := range out {
+		got = append(got, it.v.id)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("residue drain emitted %v, want [1 2]", got)
+	}
+}

@@ -30,10 +30,13 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"patty/internal/seed"
 )
 
-// DefaultSeed regenerates the committed tables.
-const DefaultSeed = 4713
+// DefaultSeed regenerates the committed tables; it is the repo-wide
+// shared base (see internal/seed).
+const DefaultSeed = seed.Default
 
 // Group identifies a study group.
 type Group int

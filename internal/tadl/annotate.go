@@ -188,14 +188,34 @@ func bindAnnotation(prog *source.Program, file *ast.File, c *ast.Comment, kind s
 				continue
 			}
 			label := strings.TrimSpace(strings.TrimPrefix(text, strings.TrimSpace(stageDirective)))
+			// The directive labels the statement immediately following
+			// it — the nearest statement by position anywhere in the
+			// function, so that with nested annotated loops a
+			// directive above an inner-loop statement is not wrongly
+			// claimed by the outer loop's annotation.
 			var target ast.Stmt
-			for _, s := range body.List {
+			for id := 0; id < fn.NumStmts(); id++ {
+				s := fn.Stmt(id)
 				if s.Pos() > sc.Pos() && (target == nil || s.Pos() < target.Pos()) {
 					target = s
 				}
 			}
 			if target == nil {
 				return nil, fmt.Errorf("tadl: stage directive %q binds to no statement", label)
+			}
+			// Attach only when the labelled statement is a top-level
+			// statement of THIS loop's body; otherwise the directive
+			// belongs to a nested (or enclosing) annotated loop and
+			// its own arch directive will claim it.
+			topLevel := false
+			for _, s := range body.List {
+				if s == target {
+					topLevel = true
+					break
+				}
+			}
+			if !topLevel {
+				continue
 			}
 			ann.StageOf[fn.StmtID(target)] = label
 		}

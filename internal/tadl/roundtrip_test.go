@@ -1,0 +1,122 @@
+package tadl_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"patty"
+	"patty/internal/corpus"
+	"patty/internal/source"
+	"patty/internal/tadl"
+)
+
+var update = flag.Bool("update", false, "rewrite the tadl golden files")
+
+// annotateCorpus runs static detection on one corpus program and
+// inserts the resulting TADL directives.
+func annotateCorpus(t *testing.T, p *corpus.Program) (string, []tadl.Annotation) {
+	t.Helper()
+	fname := p.Name + ".go"
+	rep, err := patty.Detect(map[string]string{fname: p.Source}, nil)
+	if err != nil {
+		t.Fatalf("%s: detect: %v", p.Name, err)
+	}
+	anns := make([]tadl.Annotation, 0, len(rep.Candidates))
+	for _, c := range rep.Candidates {
+		anns = append(anns, c.Annotation)
+	}
+	prog, err := source.ParseSources(map[string]string{fname: p.Source})
+	if err != nil {
+		t.Fatalf("%s: parse: %v", p.Name, err)
+	}
+	annotated, err := tadl.Annotate(prog, p.Source, anns)
+	if err != nil {
+		t.Fatalf("%s: annotate: %v", p.Name, err)
+	}
+	return annotated, anns
+}
+
+// TestAnnotateRoundTrip proves the TADL directive layer is lossless
+// over the whole benchmark corpus: annotate → parse → extract →
+// annotate again reaches a fixed point, and the extracted annotations
+// match what detection produced (kind, architecture, loop binding and
+// stage labels). The annotated sources are pinned as golden files —
+// run with -update after intentional detector or syntax changes.
+func TestAnnotateRoundTrip(t *testing.T) {
+	for _, p := range corpus.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			annotated, anns := annotateCorpus(t, p)
+
+			// Extract from the annotated text; directives must survive
+			// the trip through a real parse.
+			fname := p.Name + ".go"
+			prog2, err := source.ParseSources(map[string]string{fname: annotated})
+			if err != nil {
+				t.Fatalf("annotated source does not parse: %v", err)
+			}
+			got, err := tadl.Extract(prog2)
+			if err != nil {
+				t.Fatalf("extract: %v", err)
+			}
+			if len(got) != len(anns) {
+				t.Fatalf("extracted %d annotations, want %d", len(got), len(anns))
+			}
+			byLoop := make(map[string]tadl.Annotation)
+			for _, a := range anns {
+				byLoop[fmt.Sprintf("%s#%d", a.Fn, a.LoopID)] = a
+			}
+			for _, g := range got {
+				want, ok := byLoop[fmt.Sprintf("%s#%d", g.Fn, g.LoopID)]
+				if !ok {
+					t.Errorf("extracted annotation for unknown loop %s#%d", g.Fn, g.LoopID)
+					continue
+				}
+				if g.String() != want.String() {
+					t.Errorf("loop %s#%d: extracted %q, want %q", g.Fn, g.LoopID, g.String(), want.String())
+				}
+				if len(g.StageOf) != len(want.StageOf) {
+					t.Errorf("loop %s#%d: %d stage labels, want %d", g.Fn, g.LoopID, len(g.StageOf), len(want.StageOf))
+				}
+				for id, label := range want.StageOf {
+					if g.StageOf[id] != label {
+						t.Errorf("loop %s#%d stmt %d: label %q, want %q", g.Fn, g.LoopID, id, g.StageOf[id], label)
+					}
+				}
+			}
+
+			// Fixed point: re-annotating the pristine source with the
+			// extracted annotations reproduces the annotated text
+			// byte for byte.
+			prog1, err := source.ParseSources(map[string]string{fname: p.Source})
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := tadl.Annotate(prog1, p.Source, got)
+			if err != nil {
+				t.Fatalf("re-annotate: %v", err)
+			}
+			if again != annotated {
+				t.Errorf("annotate(extract(annotate(src))) is not a fixed point")
+			}
+
+			golden := filepath.Join("testdata", p.Name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(annotated), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run: go test ./internal/tadl -run RoundTrip -update): %v", err)
+			}
+			if string(want) != annotated {
+				t.Errorf("annotated source differs from %s (re-run with -update if the change is intentional)", golden)
+			}
+		})
+	}
+}
