@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench lint eval study examples clean
+.PHONY: all build test race fuzz faults bench lint eval study examples clean
 
 all: build test
 
@@ -22,6 +22,14 @@ fuzz:
 	$(GO) run ./cmd/patty fuzz -seed 1 -n 50
 	$(GO) test ./internal/difftest -run '^$$' -fuzz 'FuzzDifferential$$' -fuzztime 30s
 	$(GO) test ./internal/difftest -run '^$$' -fuzz FuzzDifferentialPipeline -fuzztime 30s
+
+# faults is the fault-tolerance gate: the runtime's cancellation /
+# panic-isolation / drain property tests under -race, plus a
+# fault-injection fuzzing smoke (retry must heal exactly, skip must
+# drop exactly the injected items).
+faults:
+	$(GO) test -race -run 'Fault|Cancel|Drain' ./internal/...
+	$(GO) run ./cmd/patty fuzz -faults -n 50
 
 # lint fails when any file needs gofmt or go vet finds an issue; CI
 # runs this on every push (see .github/workflows/ci.yml).
@@ -46,6 +54,7 @@ examples:
 	$(GO) run ./examples/videopipeline
 	$(GO) run ./examples/indexer
 	$(GO) run ./examples/raytrace
+	$(GO) run ./examples/faulttolerant
 
 clean:
 	rm -rf patty-out

@@ -20,12 +20,13 @@ func cmdFuzz(args []string) error {
 	shrink := fs.Bool("shrink", true, "delta-debug divergences to minimal reproducers")
 	configs := fs.Int("configs", 3, "random tuning configurations per candidate")
 	static := fs.Bool("static", false, "skip dynamic model enrichment")
+	faults := fs.Bool("faults", false, "run fault-injection legs (retry must heal, skip must drop exactly the killed items)")
 	schedEvery := fs.Int("sched-every", 25, "schedule-explore every k-th program (0: never)")
 	reproDir := fs.String("repro-dir", "patty-out", "directory for reproducer files")
 	checkSeed := fs.Int64("check-seed", 0, "replay one exact program seed (from a reproducer file) and exit")
 	fs.Parse(args)
 
-	opt := difftest.Options{Configs: *configs, Static: *static}
+	opt := difftest.Options{Configs: *configs, Static: *static, Faults: *faults}
 
 	replay := false
 	fs.Visit(func(f *flag.Flag) {
@@ -43,7 +44,10 @@ func cmdFuzz(args []string) error {
 	for i := 0; i < *n; i++ {
 		p := difftest.Generate(seed.Mix(*baseSeed, int64(i)), difftest.GenOptions{})
 		opt.Sched = *schedEvery > 0 && i%*schedEvery == 0
-		res := difftest.Check(p, opt)
+		res, err := checkSafe(p, opt)
+		if err != nil {
+			return err
+		}
 		kinds[res.Kind]++
 		if res.Div == nil {
 			continue
@@ -67,10 +71,30 @@ func cmdFuzz(args []string) error {
 	return nil
 }
 
+// checkFn is the differential checker; a seam so tests can stand in a
+// faulting implementation.
+var checkFn = difftest.Check
+
+// checkSafe guards one differential check against runtime faults that
+// escape the harness itself (a crashed collector, a broken pattern
+// runtime): the raw panic trace becomes a one-line diagnostic and the
+// command exits non-zero instead of dumping goroutine stacks.
+func checkSafe(p *difftest.Prog, opt difftest.Options) (res *difftest.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("runtime fault: %v (replay: patty fuzz -check-seed %d)", r, p.Seed)
+		}
+	}()
+	return checkFn(p, opt), nil
+}
+
 // fuzzOne checks a single program and, on divergence, shrinks it and
 // writes the reproducer file.
 func fuzzOne(p *difftest.Prog, opt difftest.Options, shrink bool, reproDir string) error {
-	res := difftest.Check(p, opt)
+	res, err := checkSafe(p, opt)
+	if err != nil {
+		return err
+	}
 	if res.Div == nil {
 		fmt.Printf("seed %d: %s, no divergence\n", p.Seed, res.Kind)
 		return nil

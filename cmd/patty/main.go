@@ -126,9 +126,10 @@ commands:
   corpus                                list benchmark programs
   model     [-corpus name | files...] [-dot cfg|callgraph|stages] [-fn name]
   sweep     [-kind cores|replication|length]
-  fuzz      [-seed n] [-n m] [-shrink] [-check-seed s]
+  fuzz      [-seed n] [-n m] [-shrink] [-faults] [-check-seed s]
             differential fuzzing: generated programs through
-            detect -> transform -> execute vs the sequential oracle`)
+            detect -> transform -> execute vs the sequential oracle
+            (-faults adds deterministic fault-injection legs)`)
 }
 
 // loadSources reads files or a corpus program.
@@ -387,8 +388,12 @@ func cmdEval(args []string) error {
 			s.Detector, s.TP, s.FP, s.FN, s.Precision, s.Recall, s.F1)
 	}
 	if !*noObs {
+		analyses, err := probeSafe(metrics)
+		if err != nil {
+			return err
+		}
 		fmt.Println()
-		fmt.Print(report.BottleneckTable(runtimeProbe(metrics)))
+		fmt.Print(report.BottleneckTable(analyses))
 	}
 	return nil
 }

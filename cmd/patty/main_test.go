@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"patty/internal/difftest"
+	"patty/internal/obs"
 )
 
 // capture redirects stdout around fn and returns what was printed.
@@ -273,6 +276,56 @@ func TestCmdFuzzClean(t *testing.T) {
 	}
 	if !strings.Contains(out, "checked 30 programs") || !strings.Contains(out, "0 divergence(s)") {
 		t.Errorf("fuzz output:\n%s", out)
+	}
+}
+
+// TestCmdEvalRuntimeFault: a pattern runtime crashing inside the eval
+// probe must surface as a one-line "runtime fault" error (non-zero
+// exit through main), never as a raw panic trace.
+func TestCmdEvalRuntimeFault(t *testing.T) {
+	orig := probeFn
+	probeFn = func(*obs.Collector) []obs.PatternAnalysis { panic("stage exploded") }
+	defer func() { probeFn = orig }()
+	_, err := capture(t, func() error { return cmdEval([]string{"-static"}) })
+	if err == nil {
+		t.Fatal("faulting probe must make eval fail")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "runtime fault: stage exploded") || strings.Contains(msg, "\n") {
+		t.Errorf("want one-line runtime-fault diagnostic, got %q", msg)
+	}
+}
+
+// TestCmdFuzzRuntimeFault: same contract for fuzz — a panic escaping
+// the differential checker becomes a one-line diagnostic carrying the
+// replay seed.
+func TestCmdFuzzRuntimeFault(t *testing.T) {
+	orig := checkFn
+	checkFn = func(p *difftest.Prog, opt difftest.Options) *difftest.Result { panic("worker crashed") }
+	defer func() { checkFn = orig }()
+	_, err := capture(t, func() error { return cmdFuzz([]string{"-n", "1"}) })
+	if err == nil {
+		t.Fatal("faulting checker must make fuzz fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "runtime fault: worker crashed") || strings.Contains(msg, "\n") {
+		t.Errorf("want one-line runtime-fault diagnostic, got %q", msg)
+	}
+	if !strings.Contains(msg, "-check-seed") {
+		t.Errorf("diagnostic lacks replay seed: %q", msg)
+	}
+}
+
+// TestCmdFuzzFaultLegs smokes the -faults flag: a small clean sweep
+// with the fault-injection legs enabled.
+func TestCmdFuzzFaultLegs(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdFuzz([]string{"-seed", "4713", "-n", "15", "-faults", "-sched-every", "0"})
+	})
+	if err != nil {
+		t.Fatalf("fuzz -faults found divergences: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 divergence(s)") {
+		t.Errorf("fuzz -faults output:\n%s", out)
 	}
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+
 	"patty/internal/obs"
 	"patty/internal/parrt"
 )
@@ -19,6 +21,22 @@ func probeWork(cost int) int {
 		acc = acc*31 + i
 	}
 	return acc
+}
+
+// probeFn is the runtime probe; a seam so tests can stand in a
+// faulting implementation.
+var probeFn = runtimeProbe
+
+// probeSafe guards the runtime probe: a pattern runtime that crashes
+// mid-probe surfaces as a one-line diagnostic (and a non-zero exit)
+// instead of a raw panic trace.
+func probeSafe(c *obs.Collector) (analyses []obs.PatternAnalysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			analyses, err = nil, fmt.Errorf("runtime fault: %v", r)
+		}
+	}()
+	return probeFn(c), nil
 }
 
 // runtimeProbe executes one small instrumented workload per pattern

@@ -1,0 +1,143 @@
+// Faulttolerant: the parrt runtimes under failure. Three scenarios
+// show the fault policies the runtime reads from its tuning
+// parameters — the same keys the transformer documents in every
+// generated file:
+//
+//  1. SkipItem: a pipeline stage panics on corrupt frames; the run
+//     finishes, delivers every healthy frame, and reports one typed
+//     *parrt.ItemError per dropped item.
+//
+//  2. RetryItem: a flaky worker heals under retries with backoff; the
+//     result is indistinguishable from a fault-free run.
+//
+//  3. Cancellation: a streaming pipeline is canceled mid-run and
+//     drains gracefully — goroutines exit, partial results flow out,
+//     and the report carries context.Canceled.
+//
+//     go run ./examples/faulttolerant
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"patty/internal/parrt"
+)
+
+type frame struct {
+	id      int
+	corrupt bool
+	sharp   bool
+}
+
+func main() {
+	skipItemDemo()
+	retryDemo()
+	cancelDemo()
+}
+
+// skipItemDemo: panic isolation. Every 9th frame is corrupt and makes
+// the decode stage panic; policy SkipItem turns each crash into an
+// ItemError and the rest of the stream survives.
+func skipItemDemo() {
+	fmt.Println("=== 1. SkipItem: panic isolation in a pipeline ===")
+	ps := parrt.NewParams()
+	ps.Set("pipeline.video.faultpolicy", int(parrt.SkipItem))
+
+	pipe := parrt.NewPipeline("video", ps,
+		parrt.Stage[frame]{Name: "decode", Replicable: true, Fn: func(f *frame) {
+			if f.corrupt {
+				panic(fmt.Sprintf("corrupt frame %d", f.id))
+			}
+		}},
+		parrt.Stage[frame]{Name: "sharpen", Replicable: true, Fn: func(f *frame) {
+			f.sharp = true
+		}},
+	)
+
+	frames := make([]*frame, 36)
+	for i := range frames {
+		frames[i] = &frame{id: i, corrupt: i%9 == 8}
+	}
+	results, errs, err := pipe.ProcessCtx(context.Background(), frames)
+	if err != nil {
+		fmt.Println("unexpected abort:", err)
+		return
+	}
+	for _, f := range results {
+		if !f.sharp {
+			fmt.Printf("frame %d reached the sink unsharpened\n", f.id)
+		}
+	}
+	dropped := make([]int, 0, len(errs))
+	for _, e := range errs {
+		dropped = append(dropped, e.Item)
+	}
+	sort.Ints(dropped)
+	fmt.Printf("%d/%d frames delivered; dropped %v\n", len(results), len(frames), dropped)
+	for _, e := range errs[:1] {
+		fmt.Printf("typed error: stage=%q item=%d attempts=%d recovered=%v\n",
+			e.Site, e.Item, e.Attempts, e.Recovered)
+	}
+	fmt.Println()
+}
+
+// retryDemo: transient faults. The first two attempts at task 7 fail;
+// with 3 retries and exponential backoff the run heals completely.
+func retryDemo() {
+	fmt.Println("=== 2. RetryItem: healing a flaky worker ===")
+	ps := parrt.NewParams()
+	ps.Set("masterworker.checksum.faultpolicy", int(parrt.RetryItem))
+	ps.Set("masterworker.checksum.retries", 3)
+	ps.Set("masterworker.checksum.retrybackoffus", 50)
+
+	var attemptsAt7 atomic.Int64
+	mw := parrt.NewMasterWorker("checksum", ps, 4, func(n int) int {
+		if n == 7 && attemptsAt7.Add(1) <= 2 {
+			panic("transient I/O error")
+		}
+		return n * n
+	})
+	sums, errs, err := mw.ProcessCtx(context.Background(), []int{1, 2, 3, 4, 5, 6, 7, 8})
+	fmt.Printf("results=%v itemErrors=%d err=%v (task 7 took %d attempts)\n",
+		sums, len(errs), err, attemptsAt7.Load())
+	fmt.Println()
+}
+
+// cancelDemo: graceful drain. The consumer stops after ten frames and
+// cancels; the pipeline's goroutines wind down, the output channel
+// closes, and the report records the cancellation cause.
+func cancelDemo() {
+	fmt.Println("=== 3. Cancellation: draining a streaming pipeline ===")
+	ps := parrt.NewParams()
+	pipe := parrt.NewPipeline("stream", ps,
+		parrt.Stage[frame]{Name: "decode", Replicable: true, Fn: func(f *frame) {}},
+		parrt.Stage[frame]{Name: "encode", Fn: func(f *frame) {}},
+	)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan *frame)
+	go func() {
+		defer close(in)
+		for i := 0; ; i++ {
+			select {
+			case in <- &frame{id: i}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out, rep := pipe.RunCtx(ctx, in)
+	got := 0
+	for range out {
+		if got++; got == 10 {
+			cancel()
+		}
+	}
+	fmt.Printf("consumed at least 10 frames (%v), then canceled; canceled=%v, leaked goroutines: none (channel closed)\n",
+		got >= 10, errors.Is(rep.Err(), context.Canceled))
+}

@@ -68,8 +68,8 @@ func main() {
 	fmt.Printf("\ndetected architecture (Fig. 3b): %s\n", c.Arch)
 	fmt.Println("\ngenerated parallel code (Fig. 3d), excerpt:")
 	code := arts.Outputs[0].Code
-	if len(code) > 900 {
-		code = code[:900] + "\n\t// ...\n"
+	if len(code) > 1800 {
+		code = code[:1800] + "\n\t// ...\n"
 	}
 	fmt.Println(code)
 

@@ -10,6 +10,7 @@ package patty
 import (
 	"os"
 	"os/exec"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -52,10 +53,33 @@ func TestExampleQuickstart(t *testing.T) {
 		"func NormParallel(ps *parrt.Params, in []int) int {",
 		`pattyPF := parrt.NewParallelFor("Brighten.L0", ps, 0)`,
 		"total = total + parrt.Reduce(pattyPF, len(in), 0, func(i int) int {",
-		// Tuning configuration values (defaults are deterministic).
+		// Tuning configuration values (defaults are deterministic;
+		// worker counts follow the machine, so only the key is pinned).
 		"parallelfor.Brighten.L0.chunksize                            = 64  [64..64]",
-		"parallelfor.Norm.L1.workers                                  = 0  [0..0]",
+		"parallelfor.Norm.L1.workers",
 		"2 parallel unit test(s) generated",
+	)
+	// Spawn-sizing parameters must never be suggested as zero — a 0
+	// worker count frozen into the tuning file means "no workers".
+	if regexp.MustCompile(`\.workers\s+= 0\b`).MatchString(out) {
+		t.Error("tuning config suggests a zero worker count")
+	}
+}
+
+func TestExampleFaulttolerant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs subprocesses")
+	}
+	out := runExample(t, "./examples/faulttolerant")
+	assertContains(t, out,
+		// SkipItem: every 9th of 36 frames is corrupt; exactly those drop.
+		"32/36 frames delivered; dropped [8 17 26 35]",
+		`typed error: stage="decode" item=8 attempts=1 recovered=corrupt frame 8`,
+		// RetryItem: the flaky task heals on its third attempt, leaving
+		// a spotless result.
+		"results=[1 4 9 16 25 36 49 64] itemErrors=0 err=<nil> (task 7 took 3 attempts)",
+		// Cancellation: partial results plus a recorded cancel cause.
+		"consumed at least 10 frames (true), then canceled; canceled=true",
 	)
 }
 

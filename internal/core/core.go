@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"patty/internal/model"
@@ -238,7 +239,18 @@ func (p *Process) registerSuggestedParams(ps *parrt.Params, c pattern.Candidate,
 	}[out.Kind]
 	for _, sug := range c.Params {
 		key := prefix + out.PatternName + "." + sug.Name
-		ps.Set(key, sug.Value)
+		if sug.Value < 1 && (sug.Name == "workers" || sug.Name == "chunksize") {
+			// "Auto" suggestion for a spawn-sizing parameter: register
+			// honest bounds instead of locking a zero — Params.Set
+			// rejects non-positive worker counts, and a 0 frozen into
+			// the tuning file would later clamp to a single worker.
+			ps.Register(parrt.Param{
+				Key: key, Kind: parrt.IntParam,
+				Min: 1, Max: runtime.NumCPU(), Value: runtime.NumCPU(),
+			})
+		} else {
+			ps.Set(key, sug.Value)
+		}
 		if param := ps.Lookup(key); param != nil {
 			param.Location = c.Pos.String()
 		}

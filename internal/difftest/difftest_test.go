@@ -94,17 +94,25 @@ func TestDifferentialSched(t *testing.T) {
 	}
 }
 
+// regressionSeed is one corpus entry: a generator seed plus the legs
+// it must be replayed under.
+type regressionSeed struct {
+	seed   int64
+	faults bool // replay with the fault-injection legs enabled
+}
+
 // regressionSeeds reads testdata/seeds.txt: one program seed per line,
-// '#' comments allowed. Every divergence ever caught and shrunk gets
-// its seed appended there, so past failures are re-checked forever.
-func regressionSeeds(t *testing.T) []int64 {
+// optionally followed by the tag "faults", '#' comments allowed. Every
+// divergence ever caught and shrunk gets its seed appended there, so
+// past failures are re-checked forever.
+func regressionSeeds(t *testing.T) []regressionSeed {
 	t.Helper()
 	f, err := os.Open(filepath.Join("testdata", "seeds.txt"))
 	if err != nil {
 		t.Fatalf("open regression corpus: %v", err)
 	}
 	defer f.Close()
-	var seeds []int64
+	var seeds []regressionSeed
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -114,25 +122,51 @@ func regressionSeeds(t *testing.T) []int64 {
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = strings.TrimSpace(line[:i])
 		}
-		v, err := strconv.ParseInt(line, 10, 64)
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
 			t.Fatalf("bad seed line %q: %v", sc.Text(), err)
 		}
-		seeds = append(seeds, v)
+		rs := regressionSeed{seed: v}
+		for _, tag := range fields[1:] {
+			if tag != "faults" {
+				t.Fatalf("unknown tag %q on seed line %q", tag, sc.Text())
+			}
+			rs.faults = true
+		}
+		seeds = append(seeds, rs)
 	}
 	return seeds
 }
 
 // TestRegressionSeeds replays the checked-in corpus with the sched leg
 // enabled — deeper than the random sweep, affordable because the
-// corpus is small.
+// corpus is small. Seeds tagged "faults" additionally run the
+// fault-injection legs they were recorded against.
 func TestRegressionSeeds(t *testing.T) {
-	for _, s := range regressionSeeds(t) {
-		p := Generate(s, GenOptions{})
-		res := Check(p, Options{Configs: 3, Sched: !testing.Short(), SchedMax: 100})
+	for _, rs := range regressionSeeds(t) {
+		p := Generate(rs.seed, GenOptions{})
+		res := Check(p, Options{Configs: 3, Sched: !testing.Short(), SchedMax: 100, Faults: rs.faults})
 		if res.Div != nil {
-			t.Errorf("regression seed %d: %s", s, res.Div)
+			t.Errorf("regression seed %d: %s", rs.seed, res.Div)
 		}
+	}
+}
+
+// TestDifferentialFaults sweeps generated programs with the
+// fault-injection legs on: transient faults must heal invisibly under
+// Retry and fatal faults must drop exactly the injected items under
+// SkipItem, for every pattern kind the detector emits.
+func TestDifferentialFaults(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	sum := Run(4713, n, Options{Configs: 1, Faults: true}, func(msg string) { t.Log(msg) })
+	if len(sum.Divergences) > 0 {
+		first := sum.Divergences[0]
+		t.Fatalf("%d/%d programs diverged under fault injection; first: %s\n%s",
+			len(sum.Divergences), n, first.Div, Generate(first.Seed, GenOptions{}).Render())
 	}
 }
 

@@ -52,6 +52,17 @@ type Options struct {
 	// Timeout bounds each parallel execution; expiry is reported as a
 	// deadlock divergence (default 10s).
 	Timeout time.Duration
+	// Faults additionally runs two fault-injection legs per candidate:
+	// transient faults under a Retry policy (must heal to an exact
+	// match) and fatal faults under SkipItem (must drop exactly the
+	// injected items). See checkFaultLegs.
+	Faults bool
+	// FaultPanicRate, FaultTransientRate and FaultDelayRate set the
+	// per-item injection probabilities of the fault legs (defaults
+	// 0.06 / 0.08 / 0.04 when Faults is on).
+	FaultPanicRate     float64
+	FaultTransientRate float64
+	FaultDelayRate     float64
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +77,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Mut != MutNone {
 		o.Static = true
+	}
+	if o.Faults {
+		if o.FaultPanicRate <= 0 {
+			o.FaultPanicRate = 0.06
+		}
+		if o.FaultTransientRate <= 0 {
+			o.FaultTransientRate = 0.08
+		}
+		if o.FaultDelayRate <= 0 {
+			o.FaultDelayRate = 0.04
+		}
 	}
 	return o
 }
@@ -82,6 +104,7 @@ type Divergence struct {
 	//   exec         - parallel execution produced different outputs
 	//   deadlock     - parallel execution timed out
 	//   panic        - parallel execution panicked
+	//   fault        - a fault-injection leg broke its recovery oracle
 	//   sched        - schedule exploration found races/deadlocks
 	Kind   string
 	Seed   int64
@@ -369,6 +392,15 @@ func Check(p *Prog, opt Options) *Result {
 		}
 		if !got.equal(ref) {
 			res.Div = &Divergence{Kind: "exec", Seed: p.Seed, Config: cfg, Source: src, Detail: got.diff(ref)}
+			return res
+		}
+	}
+
+	// 7b. Fault-injection legs: the runtime must recover from injected
+	// transient and fatal faults exactly as its policies promise.
+	if opt.Faults {
+		if d := checkFaultLegs(p, cand, fn, loop, patName, ref, src, opt); d != nil {
+			res.Div = d
 			return res
 		}
 	}

@@ -1,11 +1,13 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"runtime"
 	"strings"
 
+	"patty/internal/faultinject"
 	"patty/internal/parrt"
 	"patty/internal/pattern"
 	"patty/internal/source"
@@ -182,6 +184,24 @@ func (p *Prog) liveCarried() bool {
 	return false
 }
 
+// runSeqSkipping executes the program natively, skipping the given
+// iterations entirely. This is the reference for a SkipItem run under
+// fatal fault injection: faults fire at the pattern entry, before any
+// user statement, so a dropped element executes nothing at all.
+func (p *Prog) runSeqSkipping(skip map[int]bool) *state {
+	st := newState(p)
+	temps := make([]int64, p.NTemp)
+	for i := 0; i < p.N; i++ {
+		if skip[i] {
+			continue
+		}
+		if evalStmts(p.Body, st, i, temps) {
+			break
+		}
+	}
+	return st
+}
+
 // runSeq executes the program natively in the given iteration order
 // (nil: 0..N-1). This is the harness's reference next to the
 // interpreter oracle, and — with a permuted order — the deterministic
@@ -287,15 +307,33 @@ func loopBodyList(loop ast.Stmt) []ast.Stmt {
 	return nil
 }
 
+// faultSite is the injection-site name shared by every pattern kind:
+// the fuzzer injects at the pattern entry (loop body, work function,
+// first pipeline stage), so the oracle for "which items survive a
+// SkipItem run" is simply FatalItems(faultSite, N).
+const faultSite = "body"
+
 // runPattern executes the program's target loop on the real parrt
 // runtime as the candidate and config dictate, sharing one native
 // state the way the transformed code shares program variables.
-func runPattern(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.Stmt, patName string, cfg Config) (st *state, err error) {
+func runPattern(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.Stmt, patName string, cfg Config) (*state, error) {
+	st, _, err := runPatternInj(p, cand, fn, loop, patName, cfg, nil)
+	return st, err
+}
+
+// runPatternInj is runPattern with deterministic fault injection: when
+// inj is non-nil its Enter hook runs at the pattern entry for every
+// element, before any program statement — a skipped or retried element
+// therefore has no partial side effects on the shared state. It runs
+// on the context-aware entry points, so a fail-fast abort (the default
+// policy) comes back as an error rather than a crashed worker.
+func runPatternInj(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.Stmt, patName string, cfg Config, inj *faultinject.Injector) (st *state, ierrs []*parrt.ItemError, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			st, err = nil, fmt.Errorf("panic in parallel execution: %v", r)
+			st, ierrs, err = nil, nil, fmt.Errorf("panic in parallel execution: %v", r)
 		}
 	}()
+	ctx := context.Background()
 	ps := parrt.NewParams()
 	ps.Apply(cfg.Assign)
 	st = newState(p)
@@ -316,23 +354,33 @@ func runPattern(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.
 			// Mirror genReduce: the loop body minus the reduction
 			// statement computes the per-element contribution; the
 			// runtime folds contributions with the reduction operator
-			// and the original accumulator absorbs the total.
-			total := parrt.Reduce(pf, p.N, red.Op.identity(), func(i int) int64 {
+			// and the original accumulator absorbs the total. A
+			// faulted element contributes the identity.
+			total, es, rerr := parrt.ReduceCtx(ctx, pf, p.N, red.Op.identity(), func(i int) int64 {
+				inj.Enter(faultSite, i)
 				temps := make([]int64, p.NTemp)
 				evalStmts(rest, st, i, temps)
 				return evalExpr(red.E, st, i, temps)
 			}, red.Op.apply)
+			if rerr != nil {
+				return nil, es, fmt.Errorf("panic in parallel execution: %v", rerr)
+			}
 			st.accs[red.Acc] = red.Op.apply(st.accs[red.Acc], total)
-			return st, nil
+			return st, es, nil
 		}
-		pf.For(p.N, func(i int) {
+		es, ferr := pf.ForCtx(ctx, p.N, func(i int) {
+			inj.Enter(faultSite, i)
 			temps := make([]int64, p.NTemp)
 			evalStmts(p.Body, st, i, temps)
 		})
-		return st, nil
+		if ferr != nil {
+			return nil, es, fmt.Errorf("panic in parallel execution: %v", ferr)
+		}
+		return st, es, nil
 
 	case pattern.MasterWorkerKind:
 		mw := parrt.NewMasterWorker(patName, ps, runtime.NumCPU(), func(i int) int {
+			inj.Enter(faultSite, i)
 			temps := make([]int64, p.NTemp)
 			evalStmts(p.Body, st, i, temps)
 			return 0
@@ -341,19 +389,22 @@ func runPattern(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.
 		for i := range tasks {
 			tasks[i] = i
 		}
-		mw.Process(tasks)
-		return st, nil
+		_, es, merr := mw.ProcessCtx(ctx, tasks)
+		if merr != nil {
+			return nil, es, fmt.Errorf("panic in parallel execution: %v", merr)
+		}
+		return st, es, nil
 
 	case pattern.PipelineKind:
-		groups, err := archGroups(cand.Annotation.Arch)
-		if err != nil {
-			return nil, err
+		groups, gerr := archGroups(cand.Annotation.Arch)
+		if gerr != nil {
+			return nil, nil, gerr
 		}
 		// Bind candidate stages to IR statements via the loop body's
 		// top-level statement order.
 		bodyList := loopBodyList(loop)
 		if len(bodyList) != len(p.Body) {
-			return nil, fmt.Errorf("difftest: loop body has %d statements, IR has %d", len(bodyList), len(p.Body))
+			return nil, nil, fmt.Errorf("difftest: loop body has %d statements, IR has %d", len(bodyList), len(p.Body))
 		}
 		idToIdx := make(map[int]int, len(bodyList))
 		for k, s := range bodyList {
@@ -364,7 +415,7 @@ func runPattern(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.
 			for _, id := range cs.Stmts {
 				k, ok := idToIdx[id]
 				if !ok {
-					return nil, fmt.Errorf("difftest: stage stmt %d is not a top-level body statement", id)
+					return nil, nil, fmt.Errorf("difftest: stage stmt %d is not a top-level body statement", id)
 				}
 				stmtsOfLabel[cs.Label] = append(stmtsOfLabel[cs.Label], p.Body[k])
 			}
@@ -379,7 +430,7 @@ func runPattern(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.
 			if len(grp) == 1 {
 				l := grp[0]
 				if len(stmtsOfLabel[l.name]) == 0 {
-					return nil, fmt.Errorf("difftest: stage %s has no statements", l.name)
+					return nil, nil, fmt.Errorf("difftest: stage %s has no statements", l.name)
 				}
 				stages = append(stages, parrt.Stage[felem]{
 					Name: l.name, Fn: mkFn(stmtsOfLabel[l.name]), Replicable: l.repl,
@@ -391,7 +442,7 @@ func runPattern(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.
 			anyRepl := false
 			for _, l := range grp {
 				if len(stmtsOfLabel[l.name]) == 0 {
-					return nil, fmt.Errorf("difftest: stage %s has no statements", l.name)
+					return nil, nil, fmt.Errorf("difftest: stage %s has no statements", l.name)
 				}
 				fns = append(fns, mkFn(stmtsOfLabel[l.name]))
 				names = append(names, l.name)
@@ -399,13 +450,26 @@ func runPattern(p *Prog, cand *pattern.Candidate, fn *source.Function, loop ast.
 			}
 			stages = append(stages, parrt.Group(strings.Join(names, "_"), anyRepl, fns...))
 		}
+		// Inject only at the FIRST stage: a faulted item becomes a
+		// tombstone before any program statement has run, so a SkipItem
+		// run matches runSeqSkipping exactly even for carried stages.
+		if inj != nil {
+			inner := stages[0].Fn
+			stages[0].Fn = func(e *felem) {
+				inj.Enter(faultSite, e.idx)
+				inner(e)
+			}
+		}
 		pl := parrt.NewPipeline(patName, ps, stages...)
 		items := make([]*felem, p.N)
 		for i := range items {
 			items[i] = &felem{idx: i, temps: make([]int64, p.NTemp)}
 		}
-		pl.Process(items)
-		return st, nil
+		_, es, perr := pl.ProcessCtx(ctx, items)
+		if perr != nil {
+			return nil, es, fmt.Errorf("panic in parallel execution: %v", perr)
+		}
+		return st, es, nil
 	}
-	return nil, fmt.Errorf("difftest: unknown candidate kind %v", cand.Kind)
+	return nil, nil, fmt.Errorf("difftest: unknown candidate kind %v", cand.Kind)
 }

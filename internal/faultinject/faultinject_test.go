@@ -1,0 +1,115 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// enterOutcome classifies one Enter call.
+func enterOutcome(inj *Injector, site string, item int) (kind Kind, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(Fault)
+			if !ok {
+				panic(r)
+			}
+			kind, panicked = f.Kind, true
+		}
+	}()
+	inj.Enter(site, item)
+	return 0, false
+}
+
+func TestDeterministic(t *testing.T) {
+	plan := Plan{Seed: 99, PanicRate: 0.1, TransientRate: 0.15, TransientTries: 2}
+	a, b := New(plan), New(plan)
+	if got, want := a.FatalItems("stage", 500), b.FatalItems("stage", 500); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fatal sets diverge: %v vs %v", got, want)
+	}
+	for i := 0; i < 200; i++ {
+		ka, pa := enterOutcome(a, "stage", i)
+		kb, pb := enterOutcome(b, "stage", i)
+		if ka != kb || pa != pb {
+			t.Fatalf("item %d: outcomes diverge (%v,%v) vs (%v,%v)", i, ka, pa, kb, pb)
+		}
+	}
+}
+
+func TestSitesIndependent(t *testing.T) {
+	plan := Plan{Seed: 7, PanicRate: 0.2}
+	inj := New(plan)
+	if reflect.DeepEqual(inj.FatalItems("A", 300), inj.FatalItems("B", 300)) {
+		t.Fatal("different sites produced identical fatal sets")
+	}
+}
+
+func TestFatalMatchesEnter(t *testing.T) {
+	inj := New(Plan{Seed: 3, PanicRate: 0.12})
+	for i := 0; i < 300; i++ {
+		kind, panicked := enterOutcome(inj, "w", i)
+		if want := inj.Fatal("w", i); panicked != want || (panicked && kind != Fatal) {
+			t.Fatalf("item %d: Enter panicked=%v kind=%v, Fatal()=%v", i, panicked, kind, want)
+		}
+	}
+}
+
+func TestTransientRecoversAfterTries(t *testing.T) {
+	inj := New(Plan{Seed: 11, TransientRate: 0.3, TransientTries: 2})
+	tested := 0
+	for i := 0; i < 200 && tested < 5; i++ {
+		if _, panicked := enterOutcome(inj, "s", i); !panicked {
+			continue
+		}
+		tested++
+		if _, p2 := enterOutcome(inj, "s", i); !p2 {
+			t.Fatalf("item %d: second attempt should still fail", i)
+		}
+		if _, p3 := enterOutcome(inj, "s", i); p3 {
+			t.Fatalf("item %d: third attempt should succeed", i)
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no transient fault fired in 200 items at rate 0.3")
+	}
+	if s := inj.Stats(); s.Transient < int64(tested*2) {
+		t.Fatalf("stats undercount transients: %+v", s)
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	inj := New(Plan{Seed: 42, PanicRate: 0.1})
+	got := len(inj.FatalItems("x", 2000))
+	if got < 120 || got > 280 {
+		t.Fatalf("fatal count %d far from expected ~200/2000", got)
+	}
+}
+
+func TestDelayFires(t *testing.T) {
+	inj := New(Plan{Seed: 5, DelayRate: 1, Delay: time.Millisecond})
+	start := time.Now()
+	inj.Enter("d", 0)
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay did not fire")
+	}
+	if inj.Stats().Delays != 1 {
+		t.Fatalf("stats: %+v", inj.Stats())
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var inj *Injector
+	inj.Enter("s", 0)
+	if inj.Fatal("s", 0) || inj.Stats() != (Stats{}) {
+		t.Fatal("nil injector must be inert")
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	inj := New(Plan{Seed: 1})
+	for i := 0; i < 100; i++ {
+		if _, panicked := enterOutcome(inj, "s", i); panicked {
+			t.Fatalf("zero plan panicked at item %d", i)
+		}
+	}
+}

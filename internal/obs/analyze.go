@@ -29,6 +29,13 @@ import (
 //	parallelfor.<name>.items                      counter
 //	parallelfor.<name>.chunk_ns                   histogram
 //	parallelfor.<name>.worker.<w>.busy_ns         counter
+//
+// Every pattern kind additionally publishes its fault-layer counters:
+//
+//	<kind>.<name>.faults.errors                   counter
+//	<kind>.<name>.faults.retries                  counter
+//	<kind>.<name>.faults.timeouts                 counter
+//	<kind>.<name>.faults.drained                  counter
 const (
 	KindPipeline     = "pipeline"
 	KindMasterWorker = "masterworker"
@@ -100,6 +107,20 @@ type PatternAnalysis struct {
 
 	// ChunkNs is the chunk-latency distribution (parallelfor only).
 	ChunkNs HistSnapshot
+
+	// Fault-layer counters: items that exhausted their fault policy,
+	// extra attempts made under RetryItem, per-item timeout expiries,
+	// and items discarded during a cancel or fail-fast drain.
+	FaultErrors   int64
+	FaultRetries  int64
+	FaultTimeouts int64
+	FaultDrained  int64
+}
+
+// Faulted reports whether the run recorded any fault-layer activity —
+// the tuner uses it to mark a configuration's measurement as tainted.
+func (a PatternAnalysis) Faulted() bool {
+	return a.FaultErrors > 0 || a.FaultRetries > 0 || a.FaultTimeouts > 0 || a.FaultDrained > 0
 }
 
 // Bottleneck names the bottleneck: the top stage for pipelines, the
@@ -185,6 +206,17 @@ func Analyze(s Snapshot) []PatternAnalysis {
 				a.Items = v
 			case len(sub) == 2 && sub[0] == "reorder" && sub[1] == "held":
 				a.ReorderHeld = v
+			case len(sub) == 2 && sub[0] == "faults":
+				switch sub[1] {
+				case "errors":
+					a.FaultErrors = v
+				case "retries":
+					a.FaultRetries = v
+				case "timeouts":
+					a.FaultTimeouts = v
+				case "drained":
+					a.FaultDrained = v
+				}
 			case len(sub) == 3 && sub[0] == "stage":
 				i, err := strconv.Atoi(sub[1])
 				if err != nil || i < 0 {

@@ -124,6 +124,35 @@ func TestAnalyzeWorkers(t *testing.T) {
 	}
 }
 
+// TestAnalyzeFaultCounters: the fault-layer counters every runtime
+// publishes under <kind>.<name>.faults.* must land in the analysis,
+// and any activity there must flip Faulted().
+func TestAnalyzeFaultCounters(t *testing.T) {
+	c := New()
+	c.Counter("parallelfor.loop.wall_ns").Add(1_000)
+	c.Counter("parallelfor.loop.faults.errors").Add(3)
+	c.Counter("parallelfor.loop.faults.retries").Add(7)
+	c.Counter("parallelfor.loop.faults.timeouts").Add(1)
+	c.Counter("parallelfor.loop.faults.drained").Add(12)
+	c.Counter("masterworker.pool.wall_ns").Add(1_000)
+
+	as := Analyze(c.Snapshot())
+	if len(as) != 2 {
+		t.Fatalf("analyses = %d, want 2", len(as))
+	}
+	mw, pf := as[0], as[1]
+	if mw.Faulted() {
+		t.Fatalf("clean pattern reports Faulted: %+v", mw)
+	}
+	if pf.FaultErrors != 3 || pf.FaultRetries != 7 || pf.FaultTimeouts != 1 || pf.FaultDrained != 12 {
+		t.Fatalf("fault counters = %d/%d/%d/%d, want 3/7/1/12",
+			pf.FaultErrors, pf.FaultRetries, pf.FaultTimeouts, pf.FaultDrained)
+	}
+	if !pf.Faulted() {
+		t.Fatal("pattern with fault activity must report Faulted")
+	}
+}
+
 func TestAnalyzeIgnoresForeignKeys(t *testing.T) {
 	c := New()
 	c.Counter("http.requests").Add(3)

@@ -1,0 +1,104 @@
+package parrt
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ItemError is the typed record of one failed stream element, task or
+// iteration: a stage/worker panic (or per-item timeout) captured inside
+// the runtime instead of crashing the whole process. The fault layer
+// returns these from the context-aware entry points (ProcessCtx,
+// RunCtx, ForCtx, ReduceCtx) so callers can distinguish "item k failed"
+// from "the run failed".
+type ItemError struct {
+	// Pattern is the pattern instance name ("video", "Kernel.L3").
+	Pattern string
+	// Site names where the fault happened: the stage name for
+	// pipelines, "worker" for master/worker, "body" for parallel-for.
+	Site string
+	// Item is the stream index, task index or loop iteration (-1 when
+	// unknown).
+	Item int
+	// Attempts is how many times the item was executed before the
+	// runtime gave up (>1 only under the Retry policy).
+	Attempts int
+	// Recovered is the value recovered from the panic, or
+	// ErrItemTimeout when the per-item timeout expired.
+	Recovered any
+	// Stack is the goroutine stack captured at recover time (empty for
+	// timeouts, which abandon the running goroutine instead).
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *ItemError) Error() string {
+	return fmt.Sprintf("parrt: %s: item %d failed at %q after %d attempt(s): %v",
+		e.Pattern, e.Item, e.Site, e.Attempts, e.Recovered)
+}
+
+// errItemTimeout is the Recovered value of a timed-out item.
+type errItemTimeout struct{ limit time.Duration }
+
+func (e errItemTimeout) Error() string {
+	return fmt.Sprintf("item exceeded the %v per-item timeout", e.limit)
+}
+
+// Report accumulates the fault outcome of one run. RunCtx returns it
+// alongside the output channel so streaming callers can inspect the
+// captured item errors and the abort cause once the output channel
+// closes; the slice-based entry points flatten it into their return
+// values instead.
+type Report struct {
+	mu    sync.Mutex
+	errs  []*ItemError
+	cause error
+}
+
+func (r *Report) record(e *ItemError) {
+	r.mu.Lock()
+	r.errs = append(r.errs, e)
+	r.mu.Unlock()
+}
+
+func (r *Report) abort(cause error) {
+	r.mu.Lock()
+	if r.cause == nil {
+		r.cause = cause
+	}
+	r.mu.Unlock()
+}
+
+// Errors returns the item errors captured so far, in recording order.
+// Safe to call concurrently; typically read after the output channel
+// closed.
+func (r *Report) Errors() []*ItemError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*ItemError, len(r.errs))
+	copy(out, r.errs)
+	return out
+}
+
+// Err returns why the run aborted early (the first fail-fast item
+// error, the context's cancel cause, or a *StallError), or nil when
+// the run drained normally.
+func (r *Report) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cause
+}
+
+// capture converts a recovered panic value into an *ItemError.
+func capture(pattern, site string, item, attempts int, rec any) *ItemError {
+	return &ItemError{
+		Pattern:   pattern,
+		Site:      site,
+		Item:      item,
+		Attempts:  attempts,
+		Recovered: rec,
+		Stack:     debug.Stack(),
+	}
+}

@@ -1,0 +1,514 @@
+package parrt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count and returns a func that
+// fails the test if the count has not returned to the baseline within
+// a polling deadline — goleak-style accounting without the dependency.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func skipPolicy(prefix string) *Params {
+	ps := NewParams()
+	ps.Set(prefix+".faultpolicy", int(SkipItem))
+	ps.Set(prefix+".minparallellen", 0)
+	return ps
+}
+
+// --- SkipItem isolation: a panic on item k yields every other result
+// plus exactly one ItemError for k, leak-free, for all three runtimes.
+
+func TestFaultPipelineSkipItem(t *testing.T) {
+	defer leakCheck(t)()
+	const n, bad = 40, 17
+	ps := skipPolicy("pipeline.p")
+	p := NewPipeline[int]("p", ps,
+		Stage[int]{Name: "A", Fn: func(v *int) { *v++ }, Replicable: true},
+		Stage[int]{Name: "B", Fn: func(v *int) {
+			if *v == bad+1 {
+				panic("boom")
+			}
+			*v *= 10
+		}, Replicable: true},
+	)
+	ps.Set("pipeline.p.stage.1.replication", 3)
+	items := make([]*int, n)
+	for i := range items {
+		v := i
+		items[i] = &v
+	}
+	res, errs, err := p.ProcessCtx(context.Background(), items)
+	if err != nil {
+		t.Fatalf("unexpected abort: %v", err)
+	}
+	if len(res) != n-1 {
+		t.Fatalf("got %d results, want %d", len(res), n-1)
+	}
+	want := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		if i != bad {
+			want[(i+1)*10] = true
+		}
+	}
+	for _, r := range res {
+		if !want[*r] {
+			t.Fatalf("unexpected result %d", *r)
+		}
+		delete(want, *r)
+	}
+	if len(errs) != 1 || errs[0].Item != bad || errs[0].Site != "B" {
+		t.Fatalf("errors: %v", errs)
+	}
+	if errs[0].Recovered != "boom" || len(errs[0].Stack) == 0 {
+		t.Fatalf("error detail: rec=%v stackLen=%d", errs[0].Recovered, len(errs[0].Stack))
+	}
+}
+
+func TestFaultMasterWorkerSkipItem(t *testing.T) {
+	defer leakCheck(t)()
+	const n, bad = 30, 7
+	ps := skipPolicy("masterworker.m")
+	mw := NewMasterWorker("m", ps, 4, func(task int) int {
+		if task == bad {
+			panic(fmt.Sprintf("task %d", task))
+		}
+		return task * 2
+	})
+	tasks := make([]int, n)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	res, errs, err := mw.ProcessCtx(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("unexpected abort: %v", err)
+	}
+	if len(res) != n {
+		t.Fatalf("ordered result length %d, want %d", len(res), n)
+	}
+	for i, r := range res {
+		want := i * 2
+		if i == bad {
+			want = 0 // zero-value slot for the skipped task
+		}
+		if r != want {
+			t.Fatalf("res[%d] = %d, want %d", i, r, want)
+		}
+	}
+	if len(errs) != 1 || errs[0].Item != bad || errs[0].Site != "worker" {
+		t.Fatalf("errors: %v", errs)
+	}
+}
+
+func TestFaultParallelForSkipItem(t *testing.T) {
+	defer leakCheck(t)()
+	const n, bad = 200, 99
+	ps := skipPolicy("parallelfor.f")
+	pf := NewParallelFor("f", ps, 4)
+	var hits [n]atomic.Int32
+	errs, err := pf.ForCtx(context.Background(), n, func(i int) {
+		if i == bad {
+			panic("bad iteration")
+		}
+		hits[i].Add(1)
+	})
+	if err != nil {
+		t.Fatalf("unexpected abort: %v", err)
+	}
+	for i := range hits {
+		want := int32(1)
+		if i == bad {
+			want = 0
+		}
+		if got := hits[i].Load(); got != want {
+			t.Fatalf("iteration %d executed %d times, want %d", i, got, want)
+		}
+	}
+	if len(errs) != 1 || errs[0].Item != bad || errs[0].Site != "body" {
+		t.Fatalf("errors: %v", errs)
+	}
+}
+
+func TestFaultReduceSkipContributesIdentity(t *testing.T) {
+	defer leakCheck(t)()
+	const n, bad = 100, 31
+	ps := skipPolicy("parallelfor.r")
+	pf := NewParallelFor("r", ps, 4)
+	sum, errs, err := ReduceCtx(context.Background(), pf, n, 0,
+		func(i int) int {
+			if i == bad {
+				panic("bad")
+			}
+			return i
+		},
+		func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatalf("unexpected abort: %v", err)
+	}
+	want := n*(n-1)/2 - bad
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	if len(errs) != 1 || errs[0].Item != bad {
+		t.Fatalf("errors: %v", errs)
+	}
+}
+
+// --- Retry: a transient fault (fails twice, then succeeds) is healed
+// by the retry policy with no surviving item errors.
+
+func TestFaultRetryHealsTransient(t *testing.T) {
+	defer leakCheck(t)()
+	const n, flaky = 24, 11
+	ps := NewParams()
+	ps.Set("masterworker.m.faultpolicy", int(RetryItem))
+	ps.Set("masterworker.m.retries", 3)
+	ps.Set("masterworker.m.retrybackoffus", 1)
+	ps.Set("masterworker.m.minparallellen", 0)
+	var attempts atomic.Int32
+	mw := NewMasterWorker("m", ps, 4, func(task int) int {
+		if task == flaky && attempts.Add(1) <= 2 {
+			panic("transient")
+		}
+		return task + 1
+	})
+	tasks := make([]int, n)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	res, errs, err := mw.ProcessCtx(context.Background(), tasks)
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("retry should heal: err=%v errs=%v", err, errs)
+	}
+	for i, r := range res {
+		if r != i+1 {
+			t.Fatalf("res[%d] = %d", i, r)
+		}
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("flaky task attempted %d times, want 3", got)
+	}
+}
+
+// --- Fail-fast: the legacy entry points re-panic the captured fault
+// on the caller's goroutine.
+
+func TestFaultFailFastLegacyPanics(t *testing.T) {
+	defer leakCheck(t)()
+	ps := NewParams()
+	ps.Set("parallelfor.f.minparallellen", 0)
+	pf := NewParallelFor("f", ps, 4)
+	defer func() {
+		r := recover()
+		ie, ok := r.(*ItemError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *ItemError", r, r)
+		}
+		if ie.Recovered != "kaboom" || ie.Site != "body" {
+			t.Fatalf("item error: %v", ie)
+		}
+	}()
+	pf.For(50, func(i int) {
+		if i == 25 {
+			panic("kaboom")
+		}
+	})
+	t.Fatal("For should have panicked")
+}
+
+func TestFaultFailFastProcessCtxReturnsError(t *testing.T) {
+	defer leakCheck(t)()
+	ps := NewParams()
+	ps.Set("pipeline.p.minparallellen", 0)
+	p := NewPipeline[int]("p", ps,
+		Stage[int]{Name: "A", Fn: func(v *int) {
+			if *v == 3 {
+				panic("die")
+			}
+		}, Replicable: true},
+	)
+	items := make([]*int, 10)
+	for i := range items {
+		v := i
+		items[i] = &v
+	}
+	_, errs, err := p.ProcessCtx(context.Background(), items)
+	var ie *ItemError
+	if !errors.As(err, &ie) || ie.Item != 3 {
+		t.Fatalf("err = %v, want *ItemError for item 3", err)
+	}
+	if len(errs) == 0 {
+		t.Fatal("report should carry the item error")
+	}
+}
+
+// --- Per-item timeout.
+
+func TestFaultItemTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release) // let the abandoned goroutine finish eventually
+	ps := NewParams()
+	ps.Set("masterworker.m.faultpolicy", int(SkipItem))
+	ps.Set("masterworker.m.itemtimeoutms", 20)
+	ps.Set("masterworker.m.minparallellen", 0)
+	mw := NewMasterWorker("m", ps, 2, func(task int) int {
+		if task == 1 {
+			<-release
+		}
+		return task
+	})
+	res, errs, err := mw.ProcessCtx(context.Background(), []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("unexpected abort: %v", err)
+	}
+	if len(errs) != 1 || errs[0].Item != 1 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if !strings.Contains(errs[0].Error(), "timeout") {
+		t.Fatalf("error should mention the timeout: %v", errs[0])
+	}
+	if res[0] != 0 || res[2] != 2 || res[3] != 3 {
+		t.Fatalf("results: %v", res)
+	}
+}
+
+// --- Graceful drain on mid-stream cancel: all three runtimes return
+// promptly, leak nothing, and the pipeline's reorder buffer flushes.
+
+func TestFaultCancelDrainPipeline(t *testing.T) {
+	defer leakCheck(t)()
+	ps := NewParams()
+	ps.Set("pipeline.p.stage.1.replication", 4)
+	ps.Set("pipeline.p.buffersize", 2)
+	p := NewPipeline[int]("p", ps,
+		Stage[int]{Name: "A", Fn: func(v *int) {}, Replicable: true},
+		Stage[int]{Name: "B", Fn: func(v *int) { time.Sleep(100 * time.Microsecond) }, Replicable: true},
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan *int)
+	go func() {
+		defer close(in)
+		for i := 0; i < 10000; i++ {
+			v := i
+			in <- &v
+		}
+	}()
+	out, rep := p.RunCtx(ctx, in)
+	var got []int
+	for v := range out {
+		got = append(got, *v)
+		if len(got) == 20 {
+			cancel()
+		}
+	}
+	if len(got) >= 10000 {
+		t.Fatal("cancel did not stop the stream")
+	}
+	// Order preservation holds for everything emitted before the drain
+	// discarded the tail: the reorder buffer flushed without gaps
+	// reordering survivors.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order violated at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if err := rep.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("report err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFaultCancelDrainMasterWorker(t *testing.T) {
+	defer leakCheck(t)()
+	ps := NewParams()
+	ps.Set("masterworker.m.minparallellen", 0)
+	mw := NewMasterWorker("m", ps, 4, func(task int) int {
+		time.Sleep(200 * time.Microsecond)
+		return task
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	tasks := make([]int, 5000)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	_, _, err := mw.ProcessCtx(ctx, tasks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFaultCancelDrainParallelFor(t *testing.T) {
+	defer leakCheck(t)()
+	ps := NewParams()
+	ps.Set("parallelfor.f.minparallellen", 0)
+	ps.Set("parallelfor.f.schedule", int(DynamicSchedule))
+	ps.Set("parallelfor.f.chunksize", 8)
+	ps.Set("parallelfor.f.faultpolicy", int(SkipItem)) // per-item path observes cancel fastest
+	pf := NewParallelFor("f", ps, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, err := pf.ForCtx(ctx, 1<<20, func(i int) {
+		time.Sleep(50 * time.Microsecond)
+		done.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done.Load() >= 1<<20 {
+		t.Fatal("cancel did not stop the loop")
+	}
+}
+
+// --- Stall watchdog: a deliberately blocked stage aborts the run
+// within the configured interval, naming the blocked stage.
+
+func TestFaultWatchdogNamesBlockedStage(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ps := NewParams()
+	ps.Set("pipeline.p.minparallellen", 0)
+	ps.Set("pipeline.p.stalltimeoutms", 50)
+	p := NewPipeline[int]("p", ps,
+		Stage[int]{Name: "A", Fn: func(v *int) {}, Replicable: true},
+		Stage[int]{Name: "B", Fn: func(v *int) {
+			if *v == 2 {
+				<-block
+			}
+		}, Replicable: false},
+		Stage[int]{Name: "C", Fn: func(v *int) {}, Replicable: true},
+	)
+	items := make([]*int, 8)
+	for i := range items {
+		v := i
+		items[i] = &v
+	}
+	start := time.Now()
+	_, _, err := p.ProcessCtx(context.Background(), items)
+	elapsed := time.Since(start)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if !strings.Contains(stall.Diagnostic, `stage "B" blocked`) {
+		t.Fatalf("diagnostic does not name stage B: %s", stall.Diagnostic)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("watchdog took %v to fire at 50ms interval", elapsed)
+	}
+}
+
+func TestFaultWatchdogMasterWorker(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ps := NewParams()
+	ps.Set("masterworker.m.minparallellen", 0)
+	ps.Set("masterworker.m.stalltimeoutms", 50)
+	mw := NewMasterWorker("m", ps, 2, func(task int) int {
+		if task == 0 {
+			<-block
+		}
+		return task
+	})
+	_, _, err := mw.ProcessCtx(context.Background(), []int{0, 1, 2, 3})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if !strings.Contains(stall.Diagnostic, "worker pool blocked") {
+		t.Fatalf("diagnostic: %s", stall.Diagnostic)
+	}
+}
+
+func TestFaultWatchdogParallelFor(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ps := NewParams()
+	ps.Set("parallelfor.f.minparallellen", 0)
+	ps.Set("parallelfor.f.stalltimeoutms", 50)
+	pf := NewParallelFor("f", ps, 2)
+	_, err := pf.ForCtx(context.Background(), 64, func(i int) {
+		if i == 5 {
+			<-block
+		}
+	})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if !strings.Contains(stall.Diagnostic, "loop blocked") {
+		t.Fatalf("diagnostic: %s", stall.Diagnostic)
+	}
+}
+
+// --- Sequential fallback honors the policy too.
+
+func TestFaultSequentialFallbackSkips(t *testing.T) {
+	defer leakCheck(t)()
+	ps := NewParams()
+	ps.Set("pipeline.p.faultpolicy", int(SkipItem))
+	ps.Set("pipeline.p."+keySequential, 1)
+	p := NewPipeline[int]("p", ps,
+		Stage[int]{Name: "A", Fn: func(v *int) {
+			if *v == 1 {
+				panic("seq boom")
+			}
+		}},
+	)
+	items := []*int{new(int), new(int), new(int)}
+	*items[1] = 1
+	res, errs, err := p.ProcessCtx(context.Background(), items)
+	if err != nil || len(res) != 2 || len(errs) != 1 || errs[0].Item != 1 {
+		t.Fatalf("seq fallback: res=%d errs=%v err=%v", len(res), errs, err)
+	}
+}
+
+// --- External cancellation before the run starts.
+
+func TestFaultPreCanceledContext(t *testing.T) {
+	defer leakCheck(t)()
+	ps := NewParams()
+	ps.Set("parallelfor.f.minparallellen", 0)
+	pf := NewParallelFor("f", ps, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := pf.ForCtx(ctx, 1000, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

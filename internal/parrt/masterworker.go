@@ -1,9 +1,11 @@
 package parrt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"patty/internal/obs"
@@ -21,10 +23,14 @@ import (
 //   - orderpreservation:   return results in task submission order
 //   - sequentialexecution: run tasks inline on the master
 //   - minparallellen:      task-count threshold for inline execution
+//
+// The fault policy (see FaultPolicy) is read from the same registry
+// under masterworker.<name>.faultpolicy and friends.
 type MasterWorker[T, R any] struct {
 	name       string
 	work       func(T) R
 	maxWorkers int
+	params     *Params
 
 	workers *Param
 	order   *Param
@@ -45,6 +51,7 @@ type mwMetrics struct {
 	workerItems []*obs.Counter
 	workerBusy  []*obs.Counter
 	workerIdle  []*obs.Counter
+	faults      faultCounters
 }
 
 // NewMasterWorker constructs the pattern around the worker function
@@ -58,7 +65,7 @@ func NewMasterWorker[T, R any](name string, ps *Params, maxWorkers int, work fun
 		maxWorkers = runtime.NumCPU()
 	}
 	prefix := "masterworker." + name
-	mw := &MasterWorker[T, R]{name: name, work: work, maxWorkers: maxWorkers}
+	mw := &MasterWorker[T, R]{name: name, work: work, maxWorkers: maxWorkers, params: ps}
 	mw.workers = ps.Register(Param{
 		Key:  prefix + ".workers",
 		Kind: IntParam, Min: 1, Max: maxWorkers, Value: maxWorkers,
@@ -81,10 +88,11 @@ func NewMasterWorker[T, R any](name string, ps *Params, maxWorkers int, work fun
 // Instrument attaches the pattern to a metrics collector and returns
 // the pattern. Per worker w it records items, busy time and idle time
 // (time blocked waiting for the next task) under
-// "masterworker.<name>.worker.<w>.", plus wall time and the task
-// count under "masterworker.<name>.". The per-worker series expose
-// the imbalance ratio the bottleneck table reports. A nil collector
-// leaves the pattern uninstrumented.
+// "masterworker.<name>.worker.<w>.", plus wall time, the task count
+// and the fault-layer counters (faults.errors, faults.retries,
+// faults.timeouts, faults.drained) under "masterworker.<name>.". The
+// per-worker series expose the imbalance ratio the bottleneck table
+// reports. A nil collector leaves the pattern uninstrumented.
 func (mw *MasterWorker[T, R]) Instrument(c *obs.Collector) *MasterWorker[T, R] {
 	if c == nil {
 		return mw
@@ -93,6 +101,7 @@ func (mw *MasterWorker[T, R]) Instrument(c *obs.Collector) *MasterWorker[T, R] {
 	mw.m.enabled = true
 	mw.m.wall = c.Counter(prefix + ".wall_ns")
 	mw.m.tasks = c.Counter(prefix + ".tasks")
+	mw.m.faults = instrumentFaults(c, prefix)
 	mw.m.workerItems = make([]*obs.Counter, mw.maxWorkers)
 	mw.m.workerBusy = make([]*obs.Counter, mw.maxWorkers)
 	mw.m.workerIdle = make([]*obs.Counter, mw.maxWorkers)
@@ -112,31 +121,46 @@ func (mw *MasterWorker[T, R]) Name() string { return mw.name }
 // results. With OrderPreservation (default) results arrive in task
 // order; otherwise in completion order. Sequential fallback follows
 // the same rules as Pipeline.Process.
+//
+// Process preserves its historical crash contract: under the default
+// fail-fast policy a panicking task aborts the run and the captured
+// *ItemError is re-panicked on the caller's goroutine. Use ProcessCtx
+// for cancellation and error reporting.
 func (mw *MasterWorker[T, R]) Process(tasks []T) []R {
+	out, _, err := mw.ProcessCtx(context.Background(), tasks)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ProcessCtx applies the worker function to every task under ctx and
+// the pattern's fault policy. With OrderPreservation the result slice
+// has len(tasks) entries and a faulted/skipped task leaves its slot at
+// the zero value (identified by the matching *ItemError); without
+// order preservation faulted tasks are simply omitted. The error is
+// nil when every task was attempted, the first *ItemError under
+// fail-fast, ctx's cancel cause on external cancellation, or a
+// *StallError when the stall watchdog fired.
+func (mw *MasterWorker[T, R]) ProcessCtx(ctx context.Context, tasks []T) ([]R, []*ItemError, error) {
+	pol := policyFromParams(mw.params, "masterworker."+mw.name)
+	fr, finish := newFaultRun(ctx, mw.name, pol, mw.m.faults)
+	defer finish()
 	var wallStart time.Time
 	if mw.m.enabled {
 		wallStart = time.Now()
 		mw.m.tasks.Add(int64(len(tasks)))
+		defer func() { mw.m.wall.Add(int64(time.Since(wallStart))) }()
 	}
 	if mw.seq.Bool() || len(tasks) < mw.minPl.Value {
-		out := make([]R, len(tasks))
-		for i, t := range tasks {
-			if mw.m.enabled {
-				start := time.Now()
-				out[i] = mw.work(t)
-				mw.m.workerBusy[0].Add(int64(time.Since(start)))
-				mw.m.workerItems[0].Inc()
-			} else {
-				out[i] = mw.work(t)
-			}
-			mw.items.items.Add(1)
-		}
-		if mw.m.enabled {
-			mw.m.wall.Add(int64(time.Since(wallStart)))
-		}
-		return out
+		out := mw.processSequentialCtx(fr, tasks)
+		fr.finalizeCause()
+		return out, fr.report.Errors(), fr.report.Err()
 	}
 	n := mw.workers.Value
+	if n < 1 {
+		n = 1
+	}
 	if n > len(tasks) {
 		n = len(tasks)
 	}
@@ -153,35 +177,41 @@ func (mw *MasterWorker[T, R]) Process(tasks []T) []R {
 		jobs <- job{i, t}
 	}
 	close(jobs)
+	// Buffered to len(tasks): worker sends never block, so a canceled
+	// run drains by simply letting the workers run off the closed jobs
+	// channel.
 	results := make(chan done, len(tasks))
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for w := 0; w < n; w++ {
 		go func(w int) {
 			defer wg.Done()
-			if !mw.m.enabled {
-				for j := range jobs {
-					results <- done{j.idx, mw.work(j.task)}
-					mw.items.items.Add(1)
-				}
-				return
+			var items, busy, idle *obs.Counter
+			if mw.m.enabled {
+				items, busy, idle = mw.m.workerItems[w], mw.m.workerBusy[w], mw.m.workerIdle[w]
 			}
-			items := mw.m.workerItems[w]
-			busy := mw.m.workerBusy[w]
-			idle := mw.m.workerIdle[w]
 			for {
 				idleStart := time.Now()
 				j, ok := <-jobs
-				idle.Add(int64(time.Since(idleStart)))
 				if !ok {
 					return
 				}
+				idle.Add(int64(time.Since(idleStart)))
+				if fr.canceled() {
+					fr.fc.drained.Inc()
+					continue
+				}
 				busyStart := time.Now()
-				res := mw.work(j.task)
+				var res R
+				okItem := fr.item("worker", j.idx, func() { res = mw.work(j.task) })
 				busy.Add(int64(time.Since(busyStart)))
-				results <- done{j.idx, res}
-				mw.items.items.Add(1)
-				items.Inc()
+				if okItem {
+					results <- done{j.idx, res}
+					mw.items.items.Add(1)
+					completed.Add(1)
+					items.Inc()
+				}
 			}
 		}(w)
 	}
@@ -189,23 +219,84 @@ func (mw *MasterWorker[T, R]) Process(tasks []T) []R {
 		wg.Wait()
 		close(results)
 	}()
-	collect := func() []R {
-		if mw.order.Bool() {
-			out := make([]R, len(tasks))
-			for d := range results {
-				out[d.idx] = d.res
-			}
-			return out
-		}
-		out := make([]R, 0, len(tasks))
-		for d := range results {
+	stopWatchdog := fr.startWatchdog(func() string {
+		return fmt.Sprintf("worker pool blocked: %d/%d tasks completed on %d worker(s)",
+			completed.Load(), len(tasks), n)
+	})
+	defer stopWatchdog()
+	ordered := mw.order.Bool()
+	var out []R
+	if ordered {
+		out = make([]R, len(tasks))
+	} else {
+		out = make([]R, 0, len(tasks))
+	}
+	store := func(d done) {
+		if ordered {
+			out[d.idx] = d.res
+		} else {
 			out = append(out, d.res)
 		}
-		return out
 	}
-	out := collect()
-	if mw.m.enabled {
-		mw.m.wall.Add(int64(time.Since(wallStart)))
+collect:
+	for {
+		select {
+		case d, ok := <-results:
+			if !ok {
+				break collect
+			}
+			store(d)
+		case <-fr.ctx.Done():
+			if _, stalled := context.Cause(fr.ctx).(*StallError); stalled {
+				// A stuck work function may never return; abandon the
+				// join instead of hanging with it.
+				return out, fr.report.Errors(), fr.report.Err()
+			}
+			// Cooperative drain: the workers run off the closed jobs
+			// channel and the results channel closes.
+			for d := range results {
+				store(d)
+			}
+			break collect
+		}
+	}
+	fr.finalizeCause()
+	return out, fr.report.Errors(), fr.report.Err()
+}
+
+// processSequentialCtx is the inline fallback under the fault layer.
+func (mw *MasterWorker[T, R]) processSequentialCtx(fr *faultRun, tasks []T) []R {
+	ordered := mw.order.Bool()
+	var out []R
+	if ordered {
+		out = make([]R, len(tasks))
+	} else {
+		out = make([]R, 0, len(tasks))
+	}
+	for i, t := range tasks {
+		if fr.canceled() {
+			fr.fc.drained.Add(int64(len(tasks) - i))
+			break
+		}
+		i, t := i, t
+		start := time.Now()
+		var res R
+		ok := fr.item("worker", i, func() { res = mw.work(t) })
+		if mw.m.enabled {
+			mw.m.workerBusy[0].Add(int64(time.Since(start)))
+		}
+		if !ok {
+			continue
+		}
+		if ordered {
+			out[i] = res
+		} else {
+			out = append(out, res)
+		}
+		mw.items.items.Add(1)
+		if mw.m.enabled {
+			mw.m.workerItems[0].Inc()
+		}
 	}
 	return out
 }

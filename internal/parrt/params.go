@@ -3,6 +3,7 @@ package parrt
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -128,10 +129,37 @@ func (ps *Params) Get(key string, def int) int {
 	return def
 }
 
+// spawnSized reports whether key sizes a goroutine spawn loop or
+// channel allocation (worker counts, replication degrees, buffer and
+// chunk capacities). Such parameters must stay >= 1: a 0 from a bad
+// tuning file would otherwise mean "no workers ever start" and wedge
+// the run.
+func spawnSized(key string) bool {
+	for _, suffix := range []string{
+		"." + keyReplication,
+		".workers",
+		"." + keyBuffer,
+		".chunksize",
+	} {
+		if strings.HasSuffix(key, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
 // Set assigns value to key, creating an unbounded IntParam if the key
 // is unknown. The value is clamped to the parameter's bounds.
+// Non-positive values for spawn-sizing keys (workers, replication,
+// buffersize, chunksize) are rejected outright — the assignment is
+// ignored and, for unknown keys, no parameter is created — because
+// registered bounds may not exist yet when a tuning file loads before
+// the pattern is constructed.
 func (ps *Params) Set(key string, value int) {
 	if ps == nil {
+		return
+	}
+	if value < 1 && spawnSized(key) {
 		return
 	}
 	ps.mu.Lock()

@@ -66,6 +66,43 @@ func TestParamsSetClampsToBounds(t *testing.T) {
 	}
 }
 
+func TestParamsSetRejectsNonPositiveSpawnSizes(t *testing.T) {
+	cases := []struct {
+		name      string
+		key       string
+		preValue  int  // registered value before the Set (0: key unknown)
+		set       int  // value passed to Set
+		wantValue int  // Get after the Set
+		wantKnown bool // key exists after the Set
+	}{
+		{"workers zero rejected", "masterworker.m.workers", 4, 0, 4, true},
+		{"workers negative rejected", "parallelfor.f.workers", 4, -2, 4, true},
+		{"replication zero rejected", "pipeline.p.stage.0.replication", 2, 0, 2, true},
+		{"buffersize zero rejected", "pipeline.p.buffersize", 8, 0, 8, true},
+		{"chunksize zero rejected", "parallelfor.f.chunksize", 64, 0, 64, true},
+		{"unknown workers zero not created", "masterworker.x.workers", 0, 0, 0, false},
+		{"workers positive accepted", "masterworker.m.workers", 4, 2, 2, true},
+		{"replication positive accepted", "pipeline.p.stage.0.replication", 2, 3, 3, true},
+		{"non-spawn key zero accepted", "pipeline.p.sequentialexecution", 1, 0, 0, true},
+		{"unknown non-spawn zero created", "pipeline.p.faultpolicy", 0, 0, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := NewParams()
+			if tc.preValue != 0 {
+				ps.Register(Param{Key: tc.key, Kind: IntParam, Min: 0, Max: 64, Value: tc.preValue})
+			}
+			ps.Set(tc.key, tc.set)
+			if got := ps.Lookup(tc.key) != nil; got != tc.wantKnown {
+				t.Fatalf("key known = %v, want %v", got, tc.wantKnown)
+			}
+			if got := ps.Get(tc.key, tc.preValue); got != tc.wantValue {
+				t.Fatalf("Get = %d, want %d", got, tc.wantValue)
+			}
+		})
+	}
+}
+
 func TestParamsAllSorted(t *testing.T) {
 	ps := NewParams()
 	for _, k := range []string{"c", "a", "b"} {

@@ -1,6 +1,7 @@
 package parrt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -58,9 +59,13 @@ var ScheduleNames = []string{"static", "dynamic", "guided"}
 //   - schedule:            static / dynamic / guided
 //   - sequentialexecution: run the loop inline
 //   - minparallellen:      iteration-count threshold for inline execution
+//
+// The fault policy (see FaultPolicy) is read from the same registry
+// under parallelfor.<name>.faultpolicy and friends.
 type ParallelFor struct {
 	name       string
 	maxWorkers int
+	params     *Params
 
 	workers  *Param
 	chunk    *Param
@@ -79,6 +84,7 @@ type pfMetrics struct {
 	items      *obs.Counter
 	chunkNs    *obs.Histogram
 	workerBusy []*obs.Counter
+	faults     faultCounters
 }
 
 // NewParallelFor constructs a data-parallel loop instance, registering
@@ -89,7 +95,7 @@ func NewParallelFor(name string, ps *Params, maxWorkers int) *ParallelFor {
 		maxWorkers = runtime.NumCPU()
 	}
 	prefix := "parallelfor." + name
-	pf := &ParallelFor{name: name, maxWorkers: maxWorkers}
+	pf := &ParallelFor{name: name, maxWorkers: maxWorkers, params: ps}
 	pf.workers = ps.Register(Param{
 		Key:  prefix + ".workers",
 		Kind: IntParam, Min: 1, Max: maxWorkers, Value: maxWorkers,
@@ -118,9 +124,10 @@ func NewParallelFor(name string, ps *Params, maxWorkers int) *ParallelFor {
 // loop. It records the chunk-latency distribution (chunk_ns — the
 // signal behind chunk-size tuning: too-small chunks show scheduling
 // overhead, too-large ones imbalance), the processed iteration count
-// (items), per-worker busy time (worker.<w>.busy_ns) and wall time
-// under "parallelfor.<name>.". A nil collector leaves the loop
-// uninstrumented.
+// (items), per-worker busy time (worker.<w>.busy_ns), wall time and
+// the fault-layer counters (faults.errors, faults.retries,
+// faults.timeouts, faults.drained) under "parallelfor.<name>.". A nil
+// collector leaves the loop uninstrumented.
 func (pf *ParallelFor) Instrument(c *obs.Collector) *ParallelFor {
 	if c == nil {
 		return pf
@@ -130,6 +137,7 @@ func (pf *ParallelFor) Instrument(c *obs.Collector) *ParallelFor {
 	pf.m.wall = c.Counter(prefix + ".wall_ns")
 	pf.m.items = c.Counter(prefix + ".items")
 	pf.m.chunkNs = c.Histogram(prefix + ".chunk_ns")
+	pf.m.faults = instrumentFaults(c, prefix)
 	pf.m.workerBusy = make([]*obs.Counter, pf.maxWorkers)
 	for w := 0; w < pf.maxWorkers; w++ {
 		pf.m.workerBusy[w] = c.Counter(fmt.Sprintf("%s.worker.%d.busy_ns", prefix, w))
@@ -159,42 +167,172 @@ func (pf *ParallelFor) runChunk(w, lo, hi int, body func(int)) {
 	}
 }
 
+// faultBlock bounds how many iterations run inside one panic-capture
+// region on the fail-fast fast path, so cancellation is observed with
+// bounded latency without paying a defer/recover per iteration.
+const faultBlock = 1024
+
+// runChunkCtx executes body over [lo, hi) for worker w under the fault
+// policy, recording the same instruments as runChunk. It reports false
+// once the run is canceled, telling the scheduler to stop handing out
+// chunks.
+func (pf *ParallelFor) runChunkCtx(fr *faultRun, w, lo, hi int, body func(int)) bool {
+	var start time.Time
+	if pf.m.enabled {
+		start = time.Now()
+	}
+	cont := pf.chunkBodyCtx(fr, lo, hi, body)
+	if pf.m.enabled {
+		d := int64(time.Since(start))
+		pf.m.chunkNs.Record(d)
+		pf.m.items.Add(int64(hi - lo))
+		if w >= 0 && w < len(pf.m.workerBusy) {
+			pf.m.workerBusy[w].Add(d)
+		}
+	}
+	return cont
+}
+
+func (pf *ParallelFor) chunkBodyCtx(fr *faultRun, lo, hi int, body func(int)) bool {
+	if fr.pol.Kind == FailFast && fr.pol.ItemTimeout <= 0 {
+		// Fail-fast fast path: one panic-capture region per block of
+		// iterations instead of per iteration.
+		for blockLo := lo; blockLo < hi; blockLo += faultBlock {
+			if fr.canceled() {
+				fr.fc.drained.Add(int64(hi - blockLo))
+				return false
+			}
+			blockHi := blockLo + faultBlock
+			if blockHi > hi {
+				blockHi = hi
+			}
+			cur := blockLo
+			rec, stack, _, ok := safeCall(0, func() {
+				for i := blockLo; i < blockHi; i++ {
+					cur = i
+					body(i)
+				}
+			})
+			if !ok {
+				fr.fail(&ItemError{
+					Pattern:   fr.pattern,
+					Site:      "body",
+					Item:      cur,
+					Attempts:  1,
+					Recovered: rec,
+					Stack:     stack,
+				})
+				fr.progress.Add(1)
+				return false
+			}
+			fr.progress.Add(int64(blockHi - blockLo))
+		}
+		return !fr.canceled()
+	}
+	for i := lo; i < hi; i++ {
+		if fr.canceled() {
+			fr.fc.drained.Add(int64(hi - i))
+			return false
+		}
+		i := i
+		fr.item("body", i, func() { body(i) })
+	}
+	return !fr.canceled()
+}
+
 // Name returns the pattern instance name.
 func (pf *ParallelFor) Name() string { return pf.name }
 
 // For executes body(i) for every i in [0, n) according to the current
 // tuning parameters. Iterations must be independent; the caller (the
 // code generator) guarantees that via the dependence analysis.
+//
+// For preserves its historical crash contract: under the default
+// fail-fast policy a panicking iteration aborts the loop and the
+// captured *ItemError is re-panicked on the caller's goroutine. Use
+// ForCtx for cancellation and error reporting.
 func (pf *ParallelFor) For(n int, body func(i int)) {
-	if n <= 0 {
-		return
-	}
-	var wallStart time.Time
-	if pf.m.enabled {
-		wallStart = time.Now()
-	}
-	if pf.seq.Bool() || n < pf.minPl.Value {
-		pf.runChunk(0, 0, n, body)
-	} else {
-		workers := pf.workers.Value
-		if workers > n {
-			workers = n
-		}
-		switch Schedule(pf.schedule.Value) {
-		case DynamicSchedule:
-			pf.forDynamic(n, workers, pf.chunk.Value, body)
-		case GuidedSchedule:
-			pf.forGuided(n, workers, pf.chunk.Value, body)
-		default:
-			pf.forStatic(n, workers, body)
-		}
-	}
-	if pf.m.enabled {
-		pf.m.wall.Add(int64(time.Since(wallStart)))
+	_, err := pf.ForCtx(context.Background(), n, body)
+	if err != nil {
+		panic(err)
 	}
 }
 
-func (pf *ParallelFor) forStatic(n, workers int, body func(int)) {
+// ForCtx executes body(i) for every i in [0, n) under ctx and the
+// loop's fault policy. It returns one *ItemError per faulted iteration
+// and the abort cause — nil when the loop completed (possibly with
+// skipped iterations under SkipItem/RetryItem), the first *ItemError
+// under fail-fast, ctx's cancel cause on external cancellation, or a
+// *StallError when the stall watchdog fired.
+func (pf *ParallelFor) ForCtx(ctx context.Context, n int, body func(i int)) ([]*ItemError, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	pol := policyFromParams(pf.params, "parallelfor."+pf.name)
+	fr, finish := newFaultRun(ctx, pf.name, pol, pf.m.faults)
+	defer finish()
+	var wallStart time.Time
+	if pf.m.enabled {
+		wallStart = time.Now()
+		defer func() { pf.m.wall.Add(int64(time.Since(wallStart))) }()
+	}
+	if pf.seq.Bool() || n < pf.minPl.Value {
+		pf.runChunkCtx(fr, 0, 0, n, body)
+		fr.finalizeCause()
+		return fr.report.Errors(), fr.report.Err()
+	}
+	workers := pf.workers.Value
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	run := func(w, lo, hi int) bool { return pf.runChunkCtx(fr, w, lo, hi, body) }
+	if err := pf.join(fr, n, func() {
+		switch Schedule(pf.schedule.Value) {
+		case DynamicSchedule:
+			pf.forDynamic(n, workers, pf.chunk.Value, run)
+		case GuidedSchedule:
+			pf.forGuided(n, workers, pf.chunk.Value, run)
+		default:
+			pf.forStatic(n, workers, run)
+		}
+	}); err != nil {
+		return fr.report.Errors(), err
+	}
+	fr.finalizeCause()
+	return fr.report.Errors(), fr.report.Err()
+}
+
+// join runs the scheduler on a helper goroutine and waits for it,
+// arming the stall watchdog. On a stall abort the join is abandoned
+// (the stuck body's goroutines leak until they return); on any other
+// cancellation the workers exit at the next chunk boundary and the
+// join completes cooperatively.
+func (pf *ParallelFor) join(fr *faultRun, n int, scheduler func()) error {
+	stopWatchdog := fr.startWatchdog(func() string {
+		return fmt.Sprintf("loop blocked: %d/%d iterations completed", fr.progress.Load(), n)
+	})
+	defer stopWatchdog()
+	done := make(chan struct{})
+	go func() {
+		scheduler()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-fr.ctx.Done():
+		if _, stalled := context.Cause(fr.ctx).(*StallError); stalled {
+			return fr.report.Err()
+		}
+		<-done
+		return nil
+	}
+}
+
+func (pf *ParallelFor) forStatic(n, workers int, run func(w, lo, hi int) bool) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -202,13 +340,13 @@ func (pf *ParallelFor) forStatic(n, workers int, body func(int)) {
 		hi := (w + 1) * n / workers
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			pf.runChunk(w, lo, hi, body)
+			run(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 }
 
-func (pf *ParallelFor) forDynamic(n, workers, chunk int, body func(int)) {
+func (pf *ParallelFor) forDynamic(n, workers, chunk int, run func(w, lo, hi int) bool) {
 	if chunk < 1 {
 		chunk = 1
 	}
@@ -227,14 +365,16 @@ func (pf *ParallelFor) forDynamic(n, workers, chunk int, body func(int)) {
 				if hi > n {
 					hi = n
 				}
-				pf.runChunk(w, lo, hi, body)
+				if !run(w, lo, hi) {
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
 }
 
-func (pf *ParallelFor) forGuided(n, workers, minChunk int, body func(int)) {
+func (pf *ParallelFor) forGuided(n, workers, minChunk int, run func(w, lo, hi int) bool) {
 	if minChunk < 1 {
 		minChunk = 1
 	}
@@ -268,7 +408,9 @@ func (pf *ParallelFor) forGuided(n, workers, minChunk int, body func(int)) {
 				if lo == hi {
 					return
 				}
-				pf.runChunk(w, lo, hi, body)
+				if !run(w, lo, hi) {
+					return
+				}
 			}
 		}(w)
 	}
@@ -280,41 +422,97 @@ func (pf *ParallelFor) forGuided(n, workers, minChunk int, body func(int)) {
 // must be associative and commutative (the detector only emits Reduce
 // for recognized reduction idioms such as sum += f(i)). identity is
 // the neutral element.
+//
+// Reduce preserves its historical crash contract like For; use
+// ReduceCtx for cancellation and error reporting.
 func Reduce[R any](pf *ParallelFor, n int, identity R, body func(i int) R, combine func(a, b R) R) R {
-	if n <= 0 {
-		return identity
+	acc, _, err := ReduceCtx(context.Background(), pf, n, identity, body, combine)
+	if err != nil {
+		panic(err)
 	}
+	return acc
+}
+
+// ReduceCtx executes the reduction under ctx and the loop's fault
+// policy. A faulted iteration contributes nothing (the identity) to
+// the result; it is reported via its *ItemError instead. The error
+// follows the same convention as ForCtx.
+func ReduceCtx[R any](ctx context.Context, pf *ParallelFor, n int, identity R, body func(i int) R, combine func(a, b R) R) (R, []*ItemError, error) {
+	if n <= 0 {
+		return identity, nil, nil
+	}
+	pol := policyFromParams(pf.params, "parallelfor."+pf.name)
+	fr, finish := newFaultRun(ctx, pf.name, pol, pf.m.faults)
+	defer finish()
 	var wallStart time.Time
 	if pf.m.enabled {
 		wallStart = time.Now()
 		defer func() { pf.m.wall.Add(int64(time.Since(wallStart))) }()
 	}
 	if pf.seq.Bool() || n < pf.minPl.Value {
-		acc := identity
-		pf.runChunk(0, 0, n, func(i int) { acc = combine(acc, body(i)) })
-		return acc
+		acc := reduceRange(pf, fr, 0, 0, n, identity, body, combine)
+		fr.finalizeCause()
+		return acc, fr.report.Errors(), fr.report.Err()
 	}
 	workers := pf.workers.Value
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > n {
 		workers = n
 	}
 	partials := make([]R, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := identity
-			pf.runChunk(w, lo, hi, func(i int) { acc = combine(acc, body(i)) })
-			partials[w] = acc
-		}(w, lo, hi)
+	if err := pf.join(fr, n, func() {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				partials[w] = reduceRange(pf, fr, w, lo, hi, identity, body, combine)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}); err != nil {
+		// Stall abort: the partials race with the stuck worker, so
+		// return the identity rather than a torn partial fold.
+		return identity, fr.report.Errors(), err
 	}
-	wg.Wait()
 	acc := identity
 	for _, p := range partials {
 		acc = combine(acc, p)
+	}
+	fr.finalizeCause()
+	return acc, fr.report.Errors(), fr.report.Err()
+}
+
+// reduceRange folds body over [lo, hi) for worker w under the fault
+// policy, recording the chunk instruments.
+func reduceRange[R any](pf *ParallelFor, fr *faultRun, w, lo, hi int, identity R, body func(int) R, combine func(a, b R) R) R {
+	var start time.Time
+	if pf.m.enabled {
+		start = time.Now()
+	}
+	acc := identity
+	for i := lo; i < hi; i++ {
+		if fr.canceled() {
+			fr.fc.drained.Add(int64(hi - i))
+			break
+		}
+		i := i
+		var part R
+		if fr.item("body", i, func() { part = body(i) }) {
+			acc = combine(acc, part)
+		}
+	}
+	if pf.m.enabled {
+		d := int64(time.Since(start))
+		pf.m.chunkNs.Record(d)
+		pf.m.items.Add(int64(hi - lo))
+		if w >= 0 && w < len(pf.m.workerBusy) {
+			pf.m.workerBusy[w].Add(d)
+		}
 	}
 	return acc
 }

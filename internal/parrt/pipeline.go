@@ -1,8 +1,10 @@
 package parrt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +42,10 @@ type Stage[T any] struct {
 // where crop, histogram and oil filters run in parallel per image. The
 // sub-functions must write disjoint parts of the element; the detector
 // establishes that from the data-flow analysis (PLDS).
+//
+// A panicking sub-function is re-panicked on the stage goroutine once
+// all siblings finished, so the enclosing pattern's fault policy sees
+// one fault per element rather than a crashed process.
 func Group[T any](name string, replicable bool, fns ...StageFunc[T]) Stage[T] {
 	return Stage[T]{
 		Name:       name,
@@ -50,14 +56,23 @@ func Group[T any](name string, replicable bool, fns ...StageFunc[T]) Stage[T] {
 				return
 			}
 			var wg sync.WaitGroup
+			var rec atomic.Value
 			wg.Add(len(fns))
 			for _, fn := range fns {
 				go func(fn StageFunc[T]) {
 					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							rec.CompareAndSwap(nil, &r)
+						}
+					}()
 					fn(v)
 				}(fn)
 			}
 			wg.Wait()
+			if r := rec.Load(); r != nil {
+				panic(*r.(*any))
+			}
 		},
 	}
 }
@@ -110,6 +125,7 @@ type pipeMetrics struct {
 	reorderPending *obs.Gauge
 	reorderHeld    *obs.Counter
 	wall           *obs.Counter
+	faults         faultCounters
 }
 
 // Pipeline tuning-parameter key suffixes.
@@ -132,7 +148,9 @@ const (
 //	pipeline.<name>.fuse.<i>            fuse stages i and i+1
 //	pipeline.<name>.<param>             global parameters
 //
-// matching the tuning configuration file of paper Fig. 3c.
+// matching the tuning configuration file of paper Fig. 3c. The fault
+// policy (see FaultPolicy) is read from the same registry under
+// pipeline.<name>.faultpolicy and friends.
 func NewPipeline[T any](name string, ps *Params, stages ...Stage[T]) *Pipeline[T] {
 	if len(stages) == 0 {
 		panic("parrt: NewPipeline requires at least one stage")
@@ -193,10 +211,12 @@ func NewPipeline[T any](name string, ps *Params, stages ...Stage[T]) *Pipeline[T
 // "pipeline.<name>.stage.<i>." the service-time histogram
 // (service_ns), downstream back-pressure (blocked_ns), input-queue
 // occupancy (queue_sum, sampled at each dequeue) and the replica
-// gauge, plus wall time, queue capacity and reorder-buffer pressure
-// under "pipeline.<name>.". A nil collector leaves the pipeline
-// uninstrumented. Call before Process/Run; instrumenting a running
-// pipeline races with its workers.
+// gauge, plus wall time, queue capacity, reorder-buffer pressure and
+// the fault-layer counters (faults.errors, faults.retries,
+// faults.timeouts, faults.drained) under "pipeline.<name>.". A nil
+// collector leaves the pipeline uninstrumented. Call before
+// Process/Run; instrumenting a running pipeline races with its
+// workers.
 func (p *Pipeline[T]) Instrument(c *obs.Collector) *Pipeline[T] {
 	if c == nil {
 		return p
@@ -207,6 +227,7 @@ func (p *Pipeline[T]) Instrument(c *obs.Collector) *Pipeline[T] {
 	p.m.queueCap = c.Gauge(prefix + ".queue_cap")
 	p.m.reorderPending = c.Gauge(prefix + ".reorder.pending")
 	p.m.reorderHeld = c.Counter(prefix + ".reorder.held")
+	p.m.faults = instrumentFaults(c, prefix)
 	for i, s := range p.stages {
 		sp := fmt.Sprintf("%s.stage.%d", prefix, i)
 		p.m.service[i] = c.Histogram(sp + ".service_ns")
@@ -253,24 +274,79 @@ func (p *Pipeline[T]) ResetStats() {
 // flow through the parallel stage graph; the result order matches the
 // input order whenever every replicated stage preserves order
 // (the default), and is arrival order otherwise.
+//
+// Process preserves its historical crash contract: under the default
+// fail-fast policy a panicking stage aborts the run and the captured
+// *ItemError is re-panicked on the caller's goroutine (catchable,
+// unlike the pre-fault-layer worker crash). Use ProcessCtx for
+// cancellation and error reporting, or a SkipItem/RetryItem policy to
+// degrade gracefully.
 func (p *Pipeline[T]) Process(items []*T) []*T {
+	res, _, err := p.ProcessCtx(context.Background(), items)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ProcessCtx runs the pipeline over items under ctx and the pattern's
+// fault policy. It returns the successfully processed elements (all of
+// them when nothing failed), one *ItemError per faulted element, and
+// the abort cause — nil when the stream drained completely, the first
+// *ItemError under fail-fast, ctx's cancel cause on external
+// cancellation, or a *StallError when the stall watchdog fired.
+//
+// Whatever the outcome, every pipeline goroutine has exited and every
+// channel is closed by the time ProcessCtx returns, provided stage
+// functions return; a permanently blocked stage function is abandoned
+// (its goroutine leaks until the function returns) and reported via
+// the watchdog.
+func (p *Pipeline[T]) ProcessCtx(ctx context.Context, items []*T) ([]*T, []*ItemError, error) {
+	pol := policyFromParams(p.params, "pipeline."+p.name)
+	fr, finish := newFaultRun(ctx, p.name, pol, p.m.faults)
+	defer finish()
 	if p.seq.Bool() || len(items) < p.minPl.Value {
-		return p.processSequential(items)
+		res := p.processSequentialCtx(fr, items)
+		fr.finalizeCause()
+		return res, fr.report.Errors(), fr.report.Err()
 	}
 	in := make(chan *T, len(items))
 	for _, it := range items {
 		in <- it
 	}
 	close(in)
-	out := p.Run(in)
+	out := p.runCtx(fr, in)
 	res := make([]*T, 0, len(items))
-	for v := range out {
-		res = append(res, v)
+collect:
+	for {
+		select {
+		case v, ok := <-out:
+			if !ok {
+				break collect
+			}
+			res = append(res, v)
+		case <-fr.ctx.Done():
+			if _, stalled := context.Cause(fr.ctx).(*StallError); stalled {
+				// The stalled stage may never return; abandon the
+				// drain instead of hanging with it.
+				return res, fr.report.Errors(), fr.report.Err()
+			}
+			// Cooperative drain: the workers observe the cancel and
+			// the output closes once in-flight elements settle.
+			for v := range out {
+				res = append(res, v)
+			}
+			break collect
+		}
 	}
-	return res
+	fr.finalizeCause()
+	return res, fr.report.Errors(), fr.report.Err()
 }
 
-func (p *Pipeline[T]) processSequential(items []*T) []*T {
+// processSequentialCtx is the inline fallback under the fault layer:
+// stages run in order on the caller's goroutine, honoring the policy
+// per element and stopping on cancellation or fail-fast abort.
+func (p *Pipeline[T]) processSequentialCtx(fr *faultRun, items []*T) []*T {
 	var wallStart time.Time
 	if p.m.enabled {
 		wallStart = time.Now()
@@ -278,71 +354,78 @@ func (p *Pipeline[T]) processSequential(items []*T) []*T {
 			p.m.replicas[i].Set(1)
 		}
 	}
-	for _, it := range items {
+	res := make([]*T, 0, len(items))
+	for idx, it := range items {
+		if fr.canceled() {
+			fr.fc.drained.Add(int64(len(items) - idx))
+			break
+		}
+		ok := true
 		for i := range p.stages {
 			start := time.Now()
-			p.stages[i].Fn(it)
+			ok = fr.item(p.stages[i].Name, idx, func() { p.stages[i].Fn(it) })
 			d := time.Since(start)
 			p.counters[i].busyNanos.Add(int64(d))
-			p.counters[i].items.Add(1)
 			p.m.service[i].Record(int64(d))
+			if !ok {
+				break
+			}
+			p.counters[i].items.Add(1)
+		}
+		if ok {
+			res = append(res, it)
 		}
 	}
 	if p.m.enabled {
 		p.m.wall.Add(int64(time.Since(wallStart)))
 	}
-	return items
+	return res
 }
 
 // Run starts the parallel stage graph reading from in and returns the
 // output channel. The channel is closed after the last element has
 // left the final stage. Run always executes in parallel regardless of
 // the SequentialExecution parameter; use Process for the tunable entry
-// point.
+// point and RunCtx for cancellation and fault reporting.
+//
+// Run preserves its historical crash contract: a fail-fast abort
+// (stage panic under the default policy) is re-panicked on the
+// forwarding goroutine once the stream has drained.
 func (p *Pipeline[T]) Run(in <-chan *T) <-chan *T {
-	segs := p.plan()
-	var wallStart time.Time
-	if p.m.enabled {
-		wallStart = time.Now()
-		p.m.queueCap.Set(int64(p.buf.Value))
-		for _, sg := range segs {
-			for k := sg.lo; k <= sg.hi; k++ {
-				p.m.replicas[k].Set(int64(sg.replication))
-			}
-		}
-	}
-	// StreamGenerator (PLPL): the implicit first stage numbering the
-	// continuous stream so replicated stages can restore order.
-	gen := make(chan seqItem[T], p.buf.Value)
+	out, rep := p.RunCtx(context.Background(), in)
+	proxy := make(chan *T, p.buf.Value)
 	go func() {
-		var seq uint64
-		for v := range in {
-			gen <- seqItem[T]{seq: seq, v: v}
-			seq++
+		for v := range out {
+			proxy <- v
 		}
-		close(gen)
+		if err := rep.Err(); err != nil {
+			panic(err)
+		}
+		close(proxy)
 	}()
-	cur := gen
-	for _, sg := range segs {
-		cur = p.runSegment(sg, cur)
-	}
-	out := make(chan *T, p.buf.Value)
-	go func() {
-		for it := range cur {
-			out <- it.v
-		}
-		if p.m.enabled {
-			p.m.wall.Add(int64(time.Since(wallStart)))
-		}
-		close(out)
-	}()
-	return out
+	return proxy
 }
 
-// seqItem carries a stream element with its generation sequence number.
+// RunCtx starts the parallel stage graph under ctx and the pattern's
+// fault policy. It returns the output channel and the run's fault
+// Report; the report is complete once the output channel closes. The
+// caller must drain the output channel — on cancellation the runtime
+// stops forwarding and the channel closes after the in-flight
+// elements settle.
+func (p *Pipeline[T]) RunCtx(ctx context.Context, in <-chan *T) (<-chan *T, *Report) {
+	pol := policyFromParams(p.params, "pipeline."+p.name)
+	fr, _ := newFaultRun(ctx, p.name, pol, p.m.faults)
+	return p.runCtx(fr, in), fr.report
+}
+
+// seqItem carries a stream element with its generation sequence
+// number; failed marks an element whose stage faulted — it keeps
+// flowing (so the reorder buffer sees a gapless sequence) but no
+// further stage executes on it and it is filtered before the output.
 type seqItem[T any] struct {
-	seq uint64
-	v   *T
+	seq    uint64
+	v      *T
+	failed bool
 }
 
 // segment is a fused run of stages executed by a common worker set.
@@ -392,38 +475,182 @@ func (p *Pipeline[T]) plan() []segment {
 	return segs
 }
 
-func (p *Pipeline[T]) runSegment(sg segment, in chan seqItem[T]) chan seqItem[T] {
-	out := make(chan seqItem[T], p.buf.Value)
+// segLabel names a segment for diagnostics: the member stage names
+// joined with '+'.
+func (p *Pipeline[T]) segLabel(sg segment) string {
+	if sg.lo == sg.hi {
+		return p.stages[sg.lo].Name
+	}
+	names := make([]string, 0, sg.hi-sg.lo+1)
+	for k := sg.lo; k <= sg.hi; k++ {
+		names = append(names, p.stages[k].Name)
+	}
+	return strings.Join(names, "+")
+}
+
+// runCtx spins up the stage graph for one run. The returned channel
+// closes after every worker exited and the wall clock stopped; the
+// faultRun's context is released at that point.
+func (p *Pipeline[T]) runCtx(fr *faultRun, in <-chan *T) <-chan *T {
+	segs := p.plan()
+	bufCap := p.buf.Value
+	if bufCap < 1 {
+		bufCap = 1
+	}
+	var wallStart time.Time
+	if p.m.enabled {
+		wallStart = time.Now()
+		p.m.queueCap.Set(int64(bufCap))
+		for _, sg := range segs {
+			for k := sg.lo; k <= sg.hi; k++ {
+				p.m.replicas[k].Set(int64(sg.replication))
+			}
+		}
+	}
+	// StreamGenerator (PLPL): the implicit first stage numbering the
+	// continuous stream so replicated stages can restore order.
+	var generated atomic.Int64
+	gen := make(chan seqItem[T], bufCap)
+	go func() {
+		defer close(gen)
+		var seq uint64
+		for v := range in {
+			if fr.canceled() {
+				// Keep draining so the producer never blocks, but
+				// stop admitting new work.
+				fr.fc.drained.Inc()
+				continue
+			}
+			select {
+			case gen <- seqItem[T]{seq: seq, v: v}:
+				seq++
+				generated.Add(1)
+			case <-fr.ctx.Done():
+				fr.fc.drained.Inc()
+			}
+		}
+	}()
+	cur := gen
+	segIns := make([]chan seqItem[T], len(segs))
+	for i, sg := range segs {
+		segIns[i] = cur
+		cur = p.runSegment(fr, sg, cur)
+	}
+	stopWatchdog := fr.startWatchdog(func() string {
+		return p.stallDiag(segs, segIns, &generated)
+	})
+	out := make(chan *T, bufCap)
+	go func() {
+		for it := range cur {
+			if it.failed {
+				continue
+			}
+			if fr.canceled() {
+				fr.fc.drained.Inc()
+				continue
+			}
+			select {
+			case out <- it.v:
+			case <-fr.ctx.Done():
+				fr.fc.drained.Inc()
+			}
+		}
+		if p.m.enabled {
+			p.m.wall.Add(int64(time.Since(wallStart)))
+		}
+		stopWatchdog()
+		fr.finalizeCause()
+		fr.cancel(nil)
+		close(out)
+	}()
+	return out
+}
+
+// stallDiag renders the watchdog's diagnostic dump: per segment the
+// completed-item count against what entered it plus the queued
+// backlog, and the first segment holding unfinished work is named as
+// the blocked stage.
+func (p *Pipeline[T]) stallDiag(segs []segment, segIns []chan seqItem[T], generated *atomic.Int64) string {
+	var b strings.Builder
+	suspect := ""
+	prev := generated.Load()
+	for i, sg := range segs {
+		done := p.counters[sg.hi].items.Load()
+		queued := len(segIns[i])
+		if suspect == "" && done < prev {
+			suspect = p.segLabel(sg)
+		}
+		fmt.Fprintf(&b, " %s=%d/%d(queued %d)", p.segLabel(sg), done, prev, queued)
+		prev = done
+	}
+	head := "no stage holds unfinished work (upstream starved?);"
+	if suspect != "" {
+		head = fmt.Sprintf("stage %q blocked;", suspect)
+	}
+	return head + " progress: generated=" + fmt.Sprint(generated.Load()) + b.String()
+}
+
+func (p *Pipeline[T]) runSegment(fr *faultRun, sg segment, in chan seqItem[T]) chan seqItem[T] {
+	bufCap := p.buf.Value
+	if bufCap < 1 {
+		bufCap = 1
+	}
+	out := make(chan seqItem[T], bufCap)
 	var wg sync.WaitGroup
 	wg.Add(sg.replication)
 	queueSum := p.m.queueSum[sg.lo]
 	blocked := p.m.blocked[sg.lo]
+	// forward pushes downstream, accounting for back-pressure and
+	// giving up (counting the element drained) when the run is
+	// canceled while blocked.
+	forward := func(it seqItem[T]) {
+		select {
+		case out <- it:
+			return
+		default:
+		}
+		if blocked == nil {
+			select {
+			case out <- it:
+			case <-fr.ctx.Done():
+				fr.fc.drained.Inc()
+			}
+			return
+		}
+		start := time.Now()
+		select {
+		case out <- it:
+			blocked.Add(int64(time.Since(start)))
+		case <-fr.ctx.Done():
+			fr.fc.drained.Inc()
+		}
+	}
 	for w := 0; w < sg.replication; w++ {
 		go func() {
 			defer wg.Done()
 			for it := range in {
-				queueSum.Add(int64(len(in)))
-				for k := sg.lo; k <= sg.hi; k++ {
-					start := time.Now()
-					p.stages[k].Fn(it.v)
-					d := time.Since(start)
-					p.counters[k].busyNanos.Add(int64(d))
-					p.counters[k].items.Add(1)
-					p.m.service[k].Record(int64(d))
-				}
-				if blocked == nil {
-					out <- it
+				if fr.canceled() {
+					// Drain without processing so upstream closes
+					// cascade; nothing is forwarded.
+					fr.fc.drained.Inc()
 					continue
 				}
-				// Only pay for clock reads when the send would block:
-				// the fast path is a plain buffered send.
-				select {
-				case out <- it:
-				default:
-					start := time.Now()
-					out <- it
-					blocked.Add(int64(time.Since(start)))
+				queueSum.Add(int64(len(in)))
+				if !it.failed {
+					for k := sg.lo; k <= sg.hi; k++ {
+						start := time.Now()
+						ok := fr.item(p.stages[k].Name, int(it.seq), func() { p.stages[k].Fn(it.v) })
+						d := time.Since(start)
+						p.counters[k].busyNanos.Add(int64(d))
+						p.m.service[k].Record(int64(d))
+						if !ok {
+							it.failed = true
+							break
+						}
+						p.counters[k].items.Add(1)
+					}
 				}
+				forward(it)
 			}
 		}()
 	}
@@ -432,7 +659,7 @@ func (p *Pipeline[T]) runSegment(sg segment, in chan seqItem[T]) chan seqItem[T]
 		close(out)
 	}()
 	if sg.preserve {
-		return reorder(out, p.buf.Value, p.m.reorderPending, p.m.reorderHeld)
+		return reorder(out, bufCap, p.m.reorderPending, p.m.reorderHeld)
 	}
 	return out
 }

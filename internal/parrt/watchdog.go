@@ -1,0 +1,78 @@
+package parrt
+
+import (
+	"fmt"
+	"time"
+)
+
+// StallError is the abort cause produced by the stall watchdog: the
+// run made no progress for a full no-progress interval while work was
+// still outstanding — a blocked stage function, a deadlocked worker,
+// or an upstream that stopped feeding. The Diagnostic names the
+// suspect so the failure is debuggable instead of a hung process.
+type StallError struct {
+	// Pattern is the pattern instance name.
+	Pattern string
+	// Interval is the configured no-progress interval.
+	Interval time.Duration
+	// Diagnostic is the human-readable progress dump captured when the
+	// watchdog fired, naming the blocked stage/worker.
+	Diagnostic string
+}
+
+// Error implements the error interface.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("parrt: %s stalled: no progress for %v: %s",
+		e.Pattern, e.Interval, e.Diagnostic)
+}
+
+// startWatchdog arms the stall detector for one run: it samples the
+// progress counter four times per interval and aborts the run (via
+// the faultRun's cancel cause) once a full interval elapses without
+// any item completing. diagnose is called at fire time to capture the
+// per-stage progress dump. The returned stop func disarms the
+// watchdog and must be called when the run drains; the watchdog
+// goroutine exits on stop, fire, or external cancellation.
+func (fr *faultRun) startWatchdog(diagnose func() string) (stop func()) {
+	interval := fr.pol.StallTimeout
+	if interval <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		tick := interval / 4
+		if tick <= 0 {
+			tick = interval
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		last := fr.progress.Load()
+		lastChange := time.Now()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-fr.ctx.Done():
+				return
+			case now := <-t.C:
+				cur := fr.progress.Load()
+				if cur != last {
+					last, lastChange = cur, now
+					continue
+				}
+				if now.Sub(lastChange) < interval {
+					continue
+				}
+				e := &StallError{
+					Pattern:    fr.pattern,
+					Interval:   interval,
+					Diagnostic: diagnose(),
+				}
+				fr.report.abort(e)
+				fr.cancel(e)
+				return
+			}
+		}
+	}()
+	return func() { close(quit) }
+}

@@ -34,6 +34,22 @@ func BottleneckTable(analyses []obs.PatternAnalysis) string {
 			a.Name, a.Kind, a.Items, float64(a.WallNs)/1e6,
 			a.Bottleneck(), a.BottleneckUtil, a.QueuePressure, a.Imbalance, sat)
 	}
+	faulted := false
+	for _, a := range analyses {
+		if a.Faulted() {
+			faulted = true
+		}
+	}
+	if faulted {
+		fmt.Fprintf(&b, "\nfaults (per pattern: errors / retries / timeouts / drained):\n")
+		for _, a := range analyses {
+			if !a.Faulted() {
+				continue
+			}
+			fmt.Fprintf(&b, "   %-14s %-13s %6d %9d %10d %9d\n",
+				a.Name, a.Kind, a.FaultErrors, a.FaultRetries, a.FaultTimeouts, a.FaultDrained)
+		}
+	}
 	for _, a := range analyses {
 		switch a.Kind {
 		case obs.KindPipeline:

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -78,6 +79,35 @@ func TestBottleneckTableFromLiveRun(t *testing.T) {
 	if pipeAnalysis.BottleneckStage != 1 {
 		t.Errorf("bottleneck stage = %d (%s), want 1 (filter)",
 			pipeAnalysis.BottleneckStage, pipeAnalysis.Bottleneck())
+	}
+	// A clean run must not print the fault section.
+	if strings.Contains(table, "faults (") {
+		t.Errorf("clean run rendered a fault section:\n%s", table)
+	}
+}
+
+// TestBottleneckTableFaultLine: a run whose fault layer recorded
+// activity must surface it in the table, naming the pattern.
+func TestBottleneckTableFaultLine(t *testing.T) {
+	c := obs.New()
+	ps := parrt.NewParams()
+	ps.Set("parallelfor.flaky.faultpolicy", 1) // SkipItem
+	pf := parrt.NewParallelFor("flaky", ps, 2).Instrument(c)
+	errs, err := pf.ForCtx(context.Background(), 64, func(i int) {
+		if i == 13 || i == 31 {
+			panic("injected")
+		}
+		busy(1)
+	})
+	if err != nil || len(errs) != 2 {
+		t.Fatalf("ForCtx = %d errs, %v; want 2 skipped items and no error", len(errs), err)
+	}
+	table := BottleneckTable(obs.Analyze(c.Snapshot()))
+	t.Logf("\n%s", table)
+	for _, want := range []string{"faults (per pattern", "errors / retries / timeouts / drained", "flaky"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
 	}
 }
 

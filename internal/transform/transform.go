@@ -154,6 +154,11 @@ func (t *Transformer) Function(ann tadl.Annotation) (*Output, error) {
 		return nil, err
 	}
 
+	runtimeKind := map[string]string{
+		"forall": "parallelfor", "master": "masterworker", "pipeline": "pipeline",
+	}[ann.Kind]
+	faultPrefix := runtimeKind + "." + patternName
+
 	pkg := fn.File.Name.Name
 	file := fmt.Sprintf(`// Code generated by patty; DO NOT EDIT.
 //
@@ -161,12 +166,23 @@ func (t *Transformer) Function(ann tadl.Annotation) (*Output, error) {
 // pattern-based transformation from the TADL annotation:
 //
 //	%s
+//
+// Fault tolerance: besides its capacity parameters, the runtime reads
+// this pattern's fault policy from the same *parrt.Params:
+//
+//	%s.faultpolicy     0 FailFast (default) | 1 SkipItem | 2 RetryItem
+//	%s.retries         attempts per item under RetryItem (default 2)
+//	%s.retrybackoffus  base retry backoff in microseconds (default 100)
+//	%s.itemtimeoutms   per-item timeout in milliseconds (0: none)
+//	%s.stalltimeoutms  stall-watchdog interval in milliseconds (0: off)
 package %s
 
 import "patty/internal/parrt"
 
 %s
-`, ann.Fn, ann.Kind, ann.String(), pkg, fnCode)
+`, ann.Fn, ann.Kind, ann.String(),
+		faultPrefix, faultPrefix, faultPrefix, faultPrefix, faultPrefix,
+		pkg, fnCode)
 
 	formatted, err := format.Source([]byte(file))
 	if err != nil {

@@ -1,6 +1,7 @@
 package tuning
 
 import (
+	"math"
 	"strconv"
 	"strings"
 
@@ -15,6 +16,12 @@ type ConfigMetrics struct {
 	Assignment map[string]int
 	Cost       float64
 	Analyses   []obs.PatternAnalysis
+	// Faulted marks a tainted measurement: the objective panicked, or
+	// the fault-layer counters recorded lost work (errors, timeouts or
+	// drained items) during the run. Faulted configurations keep their
+	// record — the trace shows WHICH configurations fault — but their
+	// cost is +Inf so no tuner ever walks toward one.
+	Faulted bool
 }
 
 // Observed couples an Objective with the obs.Collector its workload
@@ -45,11 +52,27 @@ type Observed struct {
 // analyzes the run. The evaluator caches costs by assignment, so a
 // repeated assignment reuses the analysis of its first run (see
 // AnalysesFor).
+//
+// Faults are penalized but recorded: a panicking objective — or one
+// whose run left lost work in the fault-layer counters (errors,
+// timeouts, drained items) — still produces a ConfigMetrics entry and
+// an analysis, but its cost becomes +Inf so search never converges on
+// a configuration that only looks fast because it crashed early.
+// Healed retries alone do not penalize: the result was correct and
+// the retry latency is already inside the measured cost.
 func (o *Observed) Wrap(obj Objective) Objective {
 	return func(a map[string]int) float64 {
 		o.Collector.Reset()
-		cost := obj(a)
+		cost, faulted := runObjective(obj, a)
 		analyses := obs.Analyze(o.Collector.Snapshot())
+		for _, an := range analyses {
+			if an.FaultErrors > 0 || an.FaultTimeouts > 0 || an.FaultDrained > 0 {
+				faulted = true
+			}
+		}
+		if faulted {
+			cost = math.Inf(1)
+		}
 		if o.byKey == nil {
 			o.byKey = make(map[string][]obs.PatternAnalysis)
 		}
@@ -58,9 +81,22 @@ func (o *Observed) Wrap(obj Objective) Objective {
 			Assignment: copyAssign(a),
 			Cost:       cost,
 			Analyses:   analyses,
+			Faulted:    faulted,
 		})
 		return cost
 	}
+}
+
+// runObjective evaluates obj, converting a panic (a faulting workload
+// under a FailFast policy crashes through the legacy entry points)
+// into a faulted evaluation instead of killing the tuning loop.
+func runObjective(obj Objective, a map[string]int) (cost float64, faulted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			cost, faulted = math.Inf(1), true
+		}
+	}()
+	return obj(a), false
 }
 
 // AnalysesFor returns the recorded analysis for an assignment, or nil

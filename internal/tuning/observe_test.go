@@ -1,6 +1,7 @@
 package tuning
 
 import (
+	"math"
 	"testing"
 
 	"patty/internal/obs"
@@ -116,6 +117,50 @@ func TestObservedMetricsTrace(t *testing.T) {
 	}
 	if o.AnalysesFor(map[string]int{"never": 1}) != nil {
 		t.Fatal("AnalysesFor must return nil for unseen assignments")
+	}
+}
+
+// TestObservedFaultPenalized: faulted evaluations are penalized but
+// recorded — a panicking objective and a run that drops items both
+// cost +Inf and keep their ConfigMetrics entry marked Faulted, while
+// healed retries keep the measured cost untouched.
+func TestObservedFaultPenalized(t *testing.T) {
+	c := obs.New()
+	o := &Observed{Collector: c}
+
+	// Panicking objective: the tuning loop must survive and record.
+	crash := o.Wrap(func(a map[string]int) float64 { panic("worker died") })
+	if cost := crash(map[string]int{"k": 1}); !math.IsInf(cost, 1) {
+		t.Fatalf("panicking objective cost = %v, want +Inf", cost)
+	}
+	if len(o.Metrics) != 1 || !o.Metrics[0].Faulted {
+		t.Fatalf("panic not recorded as faulted: %+v", o.Metrics)
+	}
+
+	// Lost work in the fault counters taints the measurement.
+	lossy := o.Wrap(func(a map[string]int) float64 {
+		c.Counter("parallelfor.p.wall_ns").Add(1000)
+		c.Counter("parallelfor.p.faults.errors").Add(2)
+		return 1000
+	})
+	if cost := lossy(map[string]int{"k": 2}); !math.IsInf(cost, 1) {
+		t.Fatalf("lossy run cost = %v, want +Inf", cost)
+	}
+	if len(o.Metrics) != 2 || !o.Metrics[1].Faulted {
+		t.Fatalf("lossy run not recorded as faulted: %+v", o.Metrics[len(o.Metrics)-1])
+	}
+
+	// Healed retries are not lost work: real cost, not penalized.
+	healed := o.Wrap(func(a map[string]int) float64 {
+		c.Counter("parallelfor.p.wall_ns").Add(1000)
+		c.Counter("parallelfor.p.faults.retries").Add(5)
+		return 1000
+	})
+	if cost := healed(map[string]int{"k": 3}); cost != 1000 {
+		t.Fatalf("healed run cost = %v, want 1000", cost)
+	}
+	if m := o.Metrics[2]; m.Faulted || m.Analyses[0].FaultRetries != 5 {
+		t.Fatalf("healed run mis-recorded: %+v", m)
 	}
 }
 
