@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz faults bench lint eval study examples clean
+.PHONY: all build test race fuzz faults chaos bench lint eval study examples clean
 
 all: build test
 
@@ -30,6 +30,18 @@ fuzz:
 faults:
 	$(GO) test -race -run 'Fault|Cancel|Drain' ./internal/...
 	$(GO) run ./cmd/patty fuzz -faults -n 50
+
+# chaos is the crash-recovery gate: kill-and-restart harnesses under
+# -race — a checkpointed `patty tune` process SIGKILLed mid-search and
+# a `patty serve` instance SIGKILLed with a job in flight must both
+# resume from their snapshots and converge to the same best
+# configuration as an uninterrupted run, with zero leaked goroutines;
+# plus the supervisor/breaker storm tests and the checkpoint
+# corruption sweep. Budgeted well under 60s.
+chaos:
+	$(GO) test -race -count=1 -timeout 60s \
+		-run 'KillRestart|ServeChaos|FuzzCheckpoint|Storm|Breaker|CheckpointResume|CorruptionEveryOffset' \
+		./cmd/patty/ ./internal/jobs/ ./internal/tuning/ ./internal/checkpoint/
 
 # lint fails when any file needs gofmt or go vet finds an issue; CI
 # runs this on every push (see .github/workflows/ci.yml).

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 
@@ -12,18 +14,21 @@ import (
 // run each through detect → TADL → transform → parrt against the
 // sequential oracle, shrink any divergence to a minimal reproducer and
 // persist it. Exit status is non-zero when a divergence survives, so
-// the command doubles as a CI gate.
-func cmdFuzz(args []string) error {
-	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+// the command doubles as a CI gate. With -checkpoint the sweep is
+// journaled and a killed run resumes at the next unchecked program; a
+// SIGINT prints the summary so far.
+func cmdFuzz(ctx context.Context, args []string) error {
+	fs := newFlagSet("fuzz")
 	baseSeed := fs.Int64("seed", seed.Default, "base seed; program i is generated from seed.Mix(seed, i)")
 	n := fs.Int("n", 200, "number of generated programs")
 	shrink := fs.Bool("shrink", true, "delta-debug divergences to minimal reproducers")
 	configs := fs.Int("configs", 3, "random tuning configurations per candidate")
 	static := fs.Bool("static", false, "skip dynamic model enrichment")
 	faults := fs.Bool("faults", false, "run fault-injection legs (retry must heal, skip must drop exactly the killed items)")
-	schedEvery := fs.Int("sched-every", 25, "schedule-explore every k-th program (0: never)")
+	schedEvery := fs.Int("sched-every", 25, "schedule-explore every k-th program (0: never; ignored with -checkpoint)")
 	reproDir := fs.String("repro-dir", "patty-out", "directory for reproducer files")
 	checkSeed := fs.Int64("check-seed", 0, "replay one exact program seed (from a reproducer file) and exit")
+	ckpt := fs.String("checkpoint", "", "journal sweep progress to this file and resume from it")
 	fs.Parse(args)
 
 	opt := difftest.Options{Configs: *configs, Static: *static, Faults: *faults}
@@ -39,15 +44,26 @@ func cmdFuzz(args []string) error {
 		return fuzzOne(difftest.Generate(*checkSeed, difftest.GenOptions{}), opt, *shrink, *reproDir)
 	}
 
+	if *ckpt != "" {
+		return fuzzCheckpointed(ctx, *ckpt, *baseSeed, *n, opt, *shrink, *reproDir)
+	}
+
 	kinds := make(map[string]int)
 	divergences := 0
+	checked := 0
+	interrupted := false
 	for i := 0; i < *n; i++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		p := difftest.Generate(seed.Mix(*baseSeed, int64(i)), difftest.GenOptions{})
 		opt.Sched = *schedEvery > 0 && i%*schedEvery == 0
 		res, err := checkSafe(p, opt)
 		if err != nil {
 			return err
 		}
+		checked++
 		kinds[res.Kind]++
 		if res.Div == nil {
 			continue
@@ -57,7 +73,51 @@ func cmdFuzz(args []string) error {
 			fmt.Println(err)
 		}
 	}
-	fmt.Printf("checked %d programs (base seed %d): ", *n, *baseSeed)
+	printFuzzSummary(checked, *baseSeed, kinds, divergences, interrupted)
+	if divergences > 0 {
+		return fmt.Errorf("%d divergence(s) found", divergences)
+	}
+	if interrupted {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// fuzzCheckpointed runs the sweep through the crash-safe journal: a
+// previous run's progress (kill -9 included) is resumed instead of
+// redone, and divergent seeds recorded before the crash are re-derived
+// into the summary.
+func fuzzCheckpointed(ctx context.Context, path string, baseSeed int64, n int, opt difftest.Options, shrink bool, reproDir string) error {
+	b, resumed, err := difftest.NewBatch(path, baseSeed, n)
+	if err != nil {
+		return err
+	}
+	if resumed > 0 {
+		fmt.Printf("checkpoint %s: resuming at program %d of %d\n", path, resumed, n)
+	}
+	sum, runErr := b.Run(ctx, opt, func(msg string) { fmt.Println(msg) })
+	interrupted := errors.Is(runErr, context.Canceled)
+	if runErr != nil && !interrupted {
+		return runErr
+	}
+	printFuzzSummary(sum.Programs, baseSeed, sum.Kinds, len(sum.Divergences), interrupted)
+	for _, res := range sum.Divergences {
+		if err := fuzzOne(difftest.Generate(res.Div.Seed, difftest.GenOptions{}), opt, shrink, reproDir); err != nil {
+			fmt.Println(err)
+		}
+	}
+	if len(sum.Divergences) > 0 {
+		return fmt.Errorf("%d divergence(s) found", len(sum.Divergences))
+	}
+	return runErr
+}
+
+// printFuzzSummary renders the per-kind tally shared by both sweep modes.
+func printFuzzSummary(checked int, baseSeed int64, kinds map[string]int, divergences int, interrupted bool) {
+	if interrupted {
+		fmt.Print("interrupted: ")
+	}
+	fmt.Printf("checked %d programs (base seed %d): ", checked, baseSeed)
 	for i, k := range []string{"data-parallel", "master-worker", "pipeline", "rejected"} {
 		if i > 0 {
 			fmt.Print(", ")
@@ -65,10 +125,6 @@ func cmdFuzz(args []string) error {
 		fmt.Printf("%s %d", k, kinds[k])
 	}
 	fmt.Printf("; %d divergence(s)\n", divergences)
-	if divergences > 0 {
-		return fmt.Errorf("%d divergence(s) found", divergences)
-	}
-	return nil
 }
 
 // checkFn is the differential checker; a seam so tests can stand in a

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -37,7 +38,6 @@ import (
 	"patty/internal/report"
 	"patty/internal/sched"
 	"patty/internal/study"
-	"patty/internal/tuning"
 )
 
 func main() {
@@ -65,11 +65,11 @@ func main() {
 	case "verify":
 		err = cmdVerify(args)
 	case "tune":
-		err = cmdTune(args)
+		err = interruptible(cmdTune, args)
 	case "study":
-		err = cmdStudy(args)
+		err = interruptible(cmdStudy, args)
 	case "eval":
-		err = cmdEval(args)
+		err = interruptible(cmdEval, args)
 	case "corpus":
 		err = cmdCorpus(args)
 	case "sweep":
@@ -77,7 +77,9 @@ func main() {
 	case "model":
 		err = cmdModel(args)
 	case "fuzz":
-		err = cmdFuzz(args)
+		err = interruptible(cmdFuzz, args)
+	case "serve":
+		err = interruptible(cmdServe, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -89,6 +91,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "patty %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
+}
+
+// interruptible runs a context-aware subcommand under the two-strike
+// signal protocol (see withSignals).
+func interruptible(cmd func(context.Context, []string) error, args []string) error {
+	ctx, stop := withSignals(context.Background())
+	defer stop()
+	return cmd(ctx, args)
 }
 
 // startDebugServer exposes the live metrics collector and the
@@ -121,15 +131,27 @@ commands:
   transform [-o dir] files...           compile hand-written //tadl: directives
   verify    [-corpus name | files...]   run generated parallel unit tests (CHESS-style)
   tune      [-algo linear|nelder-mead|tabu|random] [-budget n]
-  study     [-seed n] [-measured]       regenerate the user-study tables
+            [-checkpoint f.ckpt] [-fault-rate p] [-eval-delay ms]
+            auto-tuning; with -checkpoint a killed run resumes where it
+            stopped, faulting configs are quarantined by a breaker
+  study     [-seed n] [-measured] [-checkpoint f.ckpt]
+            regenerate the user-study tables
   eval      [-static]                   corpus precision/recall vs baselines
   corpus                                list benchmark programs
   model     [-corpus name | files...] [-dot cfg|callgraph|stages] [-fn name]
   sweep     [-kind cores|replication|length]
   fuzz      [-seed n] [-n m] [-shrink] [-faults] [-check-seed s]
+            [-checkpoint f.ckpt]
             differential fuzzing: generated programs through
             detect -> transform -> execute vs the sequential oracle
-            (-faults adds deterministic fault-injection legs)`)
+            (-faults adds deterministic fault-injection legs)
+  serve     [-addr host:port] [-workers n] [-queue n] [-job-timeout d]
+            [-drain-timeout d] [-checkpoint-dir dir]
+            supervised job service over HTTP: submit tune/fuzz/study
+            jobs, admission control with load shedding, graceful drain
+
+tune, study, eval, fuzz and serve stop cleanly on the first SIGINT or
+SIGTERM (printing partial results); a second signal hard-exits.`)
 }
 
 // loadSources reads files or a corpus program.
@@ -291,80 +313,44 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-func cmdTune(args []string) error {
-	fs := flag.NewFlagSet("tune", flag.ExitOnError)
-	algo := fs.String("algo", "linear", "linear | nelder-mead | tabu | random")
-	budget := fs.Int("budget", 150, "objective evaluations")
-	cores := fs.Int("cores", 8, "modelled core count")
-	fs.Parse(args)
-
-	stages := []perfmodel.Stage{
-		{Name: "crop", Time: 200, Replicable: true},
-		{Name: "histo", Time: 240, Replicable: true},
-		{Name: "oil", Time: 1600, Jitter: 300, Replicable: true},
-		{Name: "conv", Time: 180, Replicable: true},
-		{Name: "add", Time: 60},
-	}
-	dims := []tuning.Dim{
-		{Key: "repl.oil", Min: 1, Max: 8},
-		{Key: "fuse.crop.histo", Min: 0, Max: 1},
-		{Key: "sequential", Min: 0, Max: 1},
-	}
-	obj := func(a map[string]int) float64 {
-		cfg := perfmodel.Config{
-			Cores:       *cores,
-			Items:       256,
-			Replication: []int{1, 1, a["repl.oil"], 1, 1},
-			Fuse:        []bool{a["fuse.crop.histo"] == 1, false, false, false},
-			Sequential:  a["sequential"] == 1,
-		}
-		return float64(perfmodel.Simulate(stages, cfg).Makespan)
-	}
-	var tn tuning.Tuner
-	switch *algo {
-	case "linear":
-		tn = tuning.LinearSearch{}
-	case "nelder-mead":
-		tn = tuning.NelderMead{}
-	case "tabu":
-		tn = tuning.TabuSearch{}
-	case "random":
-		tn = tuning.RandomSearch{Seed: 1}
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
-	}
-	start := map[string]int{"repl.oil": 1, "fuse.crop.histo": 0, "sequential": 1}
-	res := tn.Tune(dims, start, obj, *budget)
-	fmt.Printf("algorithm %s: best %v, cost %.0f after %d evaluations\n",
-		tn.Name(), res.Best, res.BestCost, res.Evaluations)
-	fmt.Println("improving steps (Fig. 4c runtime-tuning view):")
-	for _, p := range res.Trace {
-		fmt.Printf("  eval %3d: %.0f ticks\n", p.Eval, p.Cost)
-	}
-	return nil
+// newFlagSet is the shared flag-set constructor of the subcommands.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ExitOnError)
 }
 
-func cmdStudy(args []string) error {
-	fs := flag.NewFlagSet("study", flag.ExitOnError)
+func cmdStudy(ctx context.Context, args []string) error {
+	fs := newFlagSet("study")
 	seed := fs.Int64("seed", study.DefaultSeed, "simulation seed")
 	measured := fs.Bool("measured", false, "recompute the tool outcome with the live detector (slow)")
+	ckpt := fs.String("checkpoint", "", "cache the measured outcome in this snapshot file")
 	fs.Parse(args)
 	outcome := study.PaperOutcome()
 	if *measured {
 		var err error
-		outcome, err = study.MeasuredOutcome()
+		if *ckpt != "" {
+			var resumed bool
+			outcome, resumed, err = study.MeasuredOutcomeCached(*ckpt)
+			if err == nil && resumed {
+				fmt.Printf("measured tool outcome restored from %s\n", *ckpt)
+			}
+		} else {
+			outcome, err = study.MeasuredOutcome()
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("measured tool outcome on raytrace: %+v\n\n", outcome)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	res := study.Run(*seed, outcome)
 	fmt.Print(res.FormatAll())
 	return nil
 }
 
-func cmdEval(args []string) error {
-	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+func cmdEval(ctx context.Context, args []string) error {
+	fs := newFlagSet("eval")
 	staticOnly := fs.Bool("static", false, "evaluate without dynamic analysis")
 	noObs := fs.Bool("no-obs", false, "skip the runtime observability probe")
 	fs.Parse(args)
@@ -376,7 +362,7 @@ func cmdEval(args []string) error {
 	if *staticOnly {
 		dets[0] = baseline.Patty{Options: pattern.Options{StaticOnly: true}}
 	}
-	scores, err := corpus.Evaluate(dets, corpus.All(), !*staticOnly)
+	scores, err := corpus.EvaluateCtx(ctx, dets, corpus.All(), !*staticOnly)
 	if err != nil {
 		return err
 	}

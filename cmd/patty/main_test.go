@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -136,7 +137,7 @@ func Apply(a, b []int) {
 }
 
 func TestCmdStudy(t *testing.T) {
-	out, err := capture(t, func() error { return cmdStudy([]string{"-seed", "4713"}) })
+	out, err := capture(t, func() error { return cmdStudy(context.Background(), []string{"-seed", "4713"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestCmdStudy(t *testing.T) {
 
 func TestCmdTuneAlgorithms(t *testing.T) {
 	for _, algo := range []string{"linear", "nelder-mead", "tabu", "random"} {
-		out, err := capture(t, func() error { return cmdTune([]string{"-algo", algo, "-budget", "40"}) })
+		out, err := capture(t, func() error { return cmdTune(context.Background(), []string{"-algo", algo, "-budget", "40"}) })
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -157,7 +158,7 @@ func TestCmdTuneAlgorithms(t *testing.T) {
 			t.Errorf("%s output:\n%s", algo, out)
 		}
 	}
-	if _, err := capture(t, func() error { return cmdTune([]string{"-algo", "bogus"}) }); err == nil {
+	if _, err := capture(t, func() error { return cmdTune(context.Background(), []string{"-algo", "bogus"}) }); err == nil {
 		t.Fatal("expected error for unknown algorithm")
 	}
 }
@@ -230,7 +231,7 @@ func TestCmdVerifyCleanCorpus(t *testing.T) {
 }
 
 func TestCmdEvalBottleneckTable(t *testing.T) {
-	out, err := capture(t, func() error { return cmdEval([]string{"-static"}) })
+	out, err := capture(t, func() error { return cmdEval(context.Background(), []string{"-static"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestCmdEvalBottleneckTable(t *testing.T) {
 			t.Errorf("eval output missing %q", want)
 		}
 	}
-	out, err = capture(t, func() error { return cmdEval([]string{"-static", "-no-obs"}) })
+	out, err = capture(t, func() error { return cmdEval(context.Background(), []string{"-static", "-no-obs"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestRuntimeProbeAnalyses(t *testing.T) {
 
 func TestCmdFuzzClean(t *testing.T) {
 	out, err := capture(t, func() error {
-		return cmdFuzz([]string{"-seed", "1", "-n", "30", "-sched-every", "15"})
+		return cmdFuzz(context.Background(), []string{"-seed", "1", "-n", "30", "-sched-every", "15"})
 	})
 	if err != nil {
 		t.Fatalf("fuzz found divergences: %v\n%s", err, out)
@@ -286,7 +287,7 @@ func TestCmdEvalRuntimeFault(t *testing.T) {
 	orig := probeFn
 	probeFn = func(*obs.Collector) []obs.PatternAnalysis { panic("stage exploded") }
 	defer func() { probeFn = orig }()
-	_, err := capture(t, func() error { return cmdEval([]string{"-static"}) })
+	_, err := capture(t, func() error { return cmdEval(context.Background(), []string{"-static"}) })
 	if err == nil {
 		t.Fatal("faulting probe must make eval fail")
 	}
@@ -302,7 +303,7 @@ func TestCmdFuzzRuntimeFault(t *testing.T) {
 	orig := checkFn
 	checkFn = func(p *difftest.Prog, opt difftest.Options) *difftest.Result { panic("worker crashed") }
 	defer func() { checkFn = orig }()
-	_, err := capture(t, func() error { return cmdFuzz([]string{"-n", "1"}) })
+	_, err := capture(t, func() error { return cmdFuzz(context.Background(), []string{"-n", "1"}) })
 	if err == nil {
 		t.Fatal("faulting checker must make fuzz fail")
 	}
@@ -319,7 +320,7 @@ func TestCmdFuzzRuntimeFault(t *testing.T) {
 // with the fault-injection legs enabled.
 func TestCmdFuzzFaultLegs(t *testing.T) {
 	out, err := capture(t, func() error {
-		return cmdFuzz([]string{"-seed", "4713", "-n", "15", "-faults", "-sched-every", "0"})
+		return cmdFuzz(context.Background(), []string{"-seed", "4713", "-n", "15", "-faults", "-sched-every", "0"})
 	})
 	if err != nil {
 		t.Fatalf("fuzz -faults found divergences: %v\n%s", err, out)
@@ -331,7 +332,7 @@ func TestCmdFuzzFaultLegs(t *testing.T) {
 
 func TestCmdFuzzCheckSeed(t *testing.T) {
 	out, err := capture(t, func() error {
-		return cmdFuzz([]string{"-check-seed", "0"})
+		return cmdFuzz(context.Background(), []string{"-check-seed", "0"})
 	})
 	if err != nil {
 		t.Fatalf("check-seed replay diverged: %v\n%s", err, out)

@@ -1,0 +1,313 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"patty/internal/difftest"
+	"patty/internal/jobs"
+	"patty/internal/obs"
+	"patty/internal/report"
+	"patty/internal/study"
+)
+
+// jobRequest is the POST /jobs body. Kind selects the workload; the
+// tune fields are embedded flat, fuzz and study add theirs beside it.
+type jobRequest struct {
+	Kind string `json:"kind"` // tune | fuzz | study
+	tuneSpec
+	// Fuzz fields.
+	Seed    int64 `json:"seed,omitempty"`
+	N       int   `json:"n,omitempty"`
+	Configs int   `json:"configs,omitempty"`
+	// Study fields.
+	Measured bool `json:"measured,omitempty"`
+}
+
+// fuzzJobResult is the JSON result of a serve fuzz job.
+type fuzzJobResult struct {
+	Programs    int            `json:"programs"`
+	Kinds       map[string]int `json:"kinds"`
+	Divergences int            `json:"divergences"`
+	Seeds       []int64        `json:"divergent_seeds,omitempty"`
+}
+
+// server routes HTTP onto a jobs.Service.
+type server struct {
+	svc     *jobs.Service
+	ckptDir string
+}
+
+// runnerFor translates a validated request into the job's Runner.
+// Checkpoint paths default into -checkpoint-dir, derived from the job
+// parameters, so a resubmitted job after a crash resumes the same
+// snapshot.
+func (s *server) runnerFor(req jobRequest) (jobs.Runner, error) {
+	switch req.Kind {
+	case "tune":
+		spec := req.tuneSpec.withDefaults()
+		if spec.Checkpoint == "" && s.ckptDir != "" {
+			spec.Checkpoint = filepath.Join(s.ckptDir,
+				fmt.Sprintf("tune-%s-b%d-c%d.ckpt", spec.Algo, spec.Budget, spec.Cores))
+		}
+		return func(ctx context.Context) (any, error) {
+			return runTune(ctx, spec)
+		}, nil
+	case "fuzz":
+		seed, n := req.Seed, req.N
+		if n <= 0 {
+			n = 50
+		}
+		opt := difftest.Options{Configs: req.Configs}
+		if opt.Configs <= 0 {
+			opt.Configs = 2
+		}
+		ckpt := ""
+		if s.ckptDir != "" {
+			ckpt = filepath.Join(s.ckptDir, fmt.Sprintf("fuzz-s%d-n%d.ckpt", seed, n))
+		}
+		return func(ctx context.Context) (any, error) {
+			var sum *difftest.Summary
+			var err error
+			if ckpt != "" {
+				var b *difftest.Batch
+				b, _, err = difftest.NewBatch(ckpt, seed, n)
+				if err != nil {
+					return nil, err
+				}
+				sum, err = b.Run(ctx, opt, nil)
+			} else {
+				sum, err = difftest.RunCtx(ctx, seed, n, opt, nil)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res := &fuzzJobResult{Programs: sum.Programs, Kinds: sum.Kinds, Divergences: len(sum.Divergences)}
+			for _, d := range sum.Divergences {
+				res.Seeds = append(res.Seeds, d.Div.Seed)
+			}
+			return res, nil
+		}, nil
+	case "study":
+		seed, measured := req.Seed, req.Measured
+		if seed == 0 {
+			seed = study.DefaultSeed
+		}
+		ckpt := ""
+		if measured && s.ckptDir != "" {
+			ckpt = filepath.Join(s.ckptDir, "study-outcome.ckpt")
+		}
+		return func(ctx context.Context) (any, error) {
+			outcome := study.PaperOutcome()
+			if measured {
+				var err error
+				if ckpt != "" {
+					outcome, _, err = study.MeasuredOutcomeCached(ckpt)
+				} else {
+					outcome, err = study.MeasuredOutcome()
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return study.Run(seed, outcome), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (want tune, fuzz or study)", req.Kind)
+	}
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// jsonError is the error envelope of every non-2xx JSON answer.
+func jsonError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("bad job request: %w", err))
+		return
+	}
+	run, err := s.runnerFor(req)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.svc.Submit(req.Kind, run)
+	switch {
+	case errors.Is(err, jobs.ErrOverloaded), errors.Is(err, jobs.ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.URL.Query().Get("wait") != "" {
+		info, err := s.svc.Wait(r.Context(), id)
+		if err != nil {
+			s.jobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	info, err := s.svc.Status(id)
+	if err != nil {
+		s.jobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, info, err := s.svc.Result(r.PathValue("id"))
+	if err != nil {
+		s.jobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"info": info, "result": res})
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.svc.Cancel(id); err != nil {
+		s.jobError(w, err)
+		return
+	}
+	info, err := s.svc.Status(id)
+	if err != nil {
+		s.jobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// jobError maps service errors to status codes.
+func (s *server) jobError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		jsonError(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrNotFinished):
+		jsonError(w, http.StatusConflict, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		jsonError(w, http.StatusRequestTimeout, err)
+	default:
+		jsonError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.svc.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.svc.Draining() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		h, _ := obs.AnalyzeService(metrics.Snapshot())
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, report.ServiceTable(h))
+	})
+	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, metrics.Snapshot())
+	})
+	return mux
+}
+
+// cmdServe runs the supervised job service until the first
+// SIGINT/SIGTERM, then drains: admission stops, in-flight jobs finish,
+// and past -drain-timeout the remaining jobs are canceled. The exit is
+// clean either way; a second signal hard-exits.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	workers := fs.Int("workers", 2, "worker-pool size")
+	queue := fs.Int("queue", 16, "admission-queue bound; a full queue sheds submissions with 503")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0: none)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "hard deadline for the shutdown drain")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for per-job resume snapshots")
+	fs.Parse(args)
+
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	svc := jobs.New(jobs.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		Collector:  metrics,
+	})
+	srv := &server{svc: svc, ckptDir: *ckptDir}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Parseable by harnesses: the one line on stdout before serving.
+	fmt.Printf("patty serve: listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.mux()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop admission, let in-flight jobs finish, hard-cancel at
+	// the deadline. The HTTP listener stays up until the drain ends so
+	// clients can still poll status/results while jobs wind down.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Printf("patty serve: drain deadline hit, canceled remaining jobs\n")
+	} else {
+		fmt.Printf("patty serve: drained cleanly\n")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+	defer scancel()
+	hs.Shutdown(sctx)
+	return nil
+}

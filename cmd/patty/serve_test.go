@@ -1,0 +1,192 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"patty/internal/jobs"
+	"patty/internal/obs"
+)
+
+// newTestServer wires a server onto httptest with a tiny queue so
+// overload is easy to provoke.
+func newTestServer(t *testing.T, opts jobs.Options) (*server, *httptest.Server) {
+	t.Helper()
+	if opts.Collector == nil {
+		opts.Collector = obs.New()
+	}
+	svc := jobs.New(opts)
+	srv := &server{svc: svc}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return srv, ts
+}
+
+func TestServeSubmitStatusResult(t *testing.T) {
+	_, ts := newTestServer(t, jobs.Options{Workers: 1})
+	id, code := postJob(t, ts.URL, `{"kind":"tune","algo":"linear","budget":30}`)
+	if code != http.StatusAccepted || id == "" {
+		t.Fatalf("submit: HTTP %d id=%q", code, id)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info jobs.Info
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if info.Status != jobs.StatusDone {
+		t.Fatalf("job info: %+v", info)
+	}
+	rr, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct{ Result tuneOutcome }
+	json.NewDecoder(rr.Body).Decode(&res)
+	rr.Body.Close()
+	if res.Result.Best == nil || res.Result.Evaluations == 0 {
+		t.Fatalf("result: %+v", res.Result)
+	}
+	// Unknown id and bad kind map to 404 / 400.
+	if r, _ := http.Get(ts.URL + "/jobs/j999"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d", r.StatusCode)
+	}
+	if _, code := postJob(t, ts.URL, `{"kind":"bogus"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad kind: HTTP %d", code)
+	}
+}
+
+func TestServeOverloadSheds503(t *testing.T) {
+	_, ts := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 1})
+	// A slow fuzz job occupies the worker, a second fills the queue.
+	slow := `{"kind":"fuzz","seed":9,"n":500,"configs":1}`
+	if _, code := postJob(t, ts.URL, slow); code != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d", code)
+	}
+	// Wait for the worker to pick up the first job so the queue empties.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var list []jobs.Info
+		r, err := http.Get(ts.URL + "/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(r.Body).Decode(&list)
+		r.Body.Close()
+		if len(list) > 0 && list[len(list)-1].Status == jobs.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, code := postJob(t, ts.URL, slow); code != http.StatusAccepted {
+		t.Fatalf("queued submit: HTTP %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overload: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 must carry Retry-After")
+	}
+}
+
+func TestServeCancelAndHealth(t *testing.T) {
+	srv, ts := newTestServer(t, jobs.Options{Workers: 1})
+	id, _ := postJob(t, ts.URL, `{"kind":"fuzz","seed":3,"n":500,"configs":1}`)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	info, err := srv.svc.Wait(ctx, id)
+	if err != nil || info.Status != jobs.StatusCanceled {
+		t.Fatalf("canceled job: %+v err=%v", info, err)
+	}
+
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		r, err := http.Get(ts.URL + ep)
+		if err != nil || r.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %v %v", ep, err, r)
+		}
+		r.Body.Close()
+	}
+	// Draining flips readyz to 503.
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer dcancel()
+	if err := srv.svc.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: HTTP %d, want 503", r.StatusCode)
+	}
+	// Submissions during drain shed with 503 too.
+	if _, code := postJob(t, ts.URL, `{"kind":"study"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("drain submit: HTTP %d, want 503", code)
+	}
+}
+
+func TestServeStatuszAndMetricz(t *testing.T) {
+	c := obs.New()
+	_, ts := newTestServer(t, jobs.Options{Workers: 1, Collector: c})
+	old := metrics
+	metrics = c
+	defer func() { metrics = old }()
+
+	id, _ := postJob(t, ts.URL, `{"kind":"study","seed":4713}`)
+	r, err := http.Get(ts.URL + "/jobs/" + id + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	sr, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := sr.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	sr.Body.Close()
+	if !strings.Contains(sb.String(), "job service") || !strings.Contains(sb.String(), "submitted 1") {
+		t.Fatalf("statusz:\n%s", sb.String())
+	}
+	mr, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	json.NewDecoder(mr.Body).Decode(&snap)
+	mr.Body.Close()
+	if snap.Counters["jobs.submitted"] != 1 {
+		t.Fatalf("metricz counters: %v", snap.Counters)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// withSignals arms SIGINT/SIGTERM handling for interruptible commands:
+// the first signal cancels the returned context — the command winds
+// down and prints its partial results (best-so-far for tune, the
+// summary so far for fuzz) — and a second signal hard-exits non-zero
+// for runners that ignore the context. The returned stop func releases
+// the handler.
+func withSignals(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "patty: %v — stopping, partial results follow (signal again to hard-exit)\n", sig)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+			return
+		}
+		<-ch
+		fmt.Fprintln(os.Stderr, "patty: second signal, hard exit")
+		os.Exit(130)
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel()
+	}
+}

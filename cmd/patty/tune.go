@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"patty/internal/jobs"
+	"patty/internal/obs"
+	"patty/internal/perfmodel"
+	"patty/internal/tuning"
+)
+
+// tuneSpec is one auto-tuning request — the CLI flags of `patty tune`
+// and the JSON body of a serve tune job share it.
+type tuneSpec struct {
+	Algo   string `json:"algo"`
+	Budget int    `json:"budget"`
+	Cores  int    `json:"cores"`
+	// Checkpoint, when set, journals every evaluation to this file and
+	// resumes from it: a killed search restarted with the same spec
+	// fast-forwards through the completed prefix and converges to the
+	// same best as an uninterrupted run.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// EvalDelayMs stretches each fresh evaluation (kill-and-restart
+	// harnesses use it to land a SIGKILL mid-search).
+	EvalDelayMs int `json:"eval_delay_ms,omitempty"`
+	// FaultRate (percent) makes that fraction of configurations fault
+	// persistently, chosen by a deterministic hash with FaultSeed, so
+	// the circuit breaker has something to quarantine and a restarted
+	// run condemns the same configurations.
+	FaultRate int   `json:"fault_rate,omitempty"`
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// BreakerThreshold is the consecutive-fault count that quarantines
+	// a configuration (default 3).
+	BreakerThreshold int `json:"breaker_threshold,omitempty"`
+}
+
+func (s tuneSpec) withDefaults() tuneSpec {
+	if s.Algo == "" {
+		s.Algo = "linear"
+	}
+	if s.Budget <= 0 {
+		s.Budget = 150
+	}
+	if s.Cores <= 0 {
+		s.Cores = 8
+	}
+	if s.BreakerThreshold <= 0 {
+		s.BreakerThreshold = 3
+	}
+	return s
+}
+
+// tuneOutcome is the JSON-able result of one tuning run.
+type tuneOutcome struct {
+	Algo        string              `json:"algo"`
+	Best        map[string]int      `json:"best"`
+	Cost        float64             `json:"cost"`
+	Evaluations int                 `json:"evaluations"`
+	Interrupted bool                `json:"interrupted,omitempty"`
+	Explored    int                 `json:"explored,omitempty"`
+	Resumed     int                 `json:"resumed,omitempty"`
+	Quarantined []string            `json:"quarantined,omitempty"`
+	Trace       []tuning.TracePoint `json:"trace,omitempty"`
+}
+
+// tuneWorkload is the performance-model workload every tune run
+// optimizes (the paper's five-stage oil-painting pipeline).
+func tuneWorkload(cores int) (dims []tuning.Dim, start map[string]int, obj tuning.Objective) {
+	stages := []perfmodel.Stage{
+		{Name: "crop", Time: 200, Replicable: true},
+		{Name: "histo", Time: 240, Replicable: true},
+		{Name: "oil", Time: 1600, Jitter: 300, Replicable: true},
+		{Name: "conv", Time: 180, Replicable: true},
+		{Name: "add", Time: 60},
+	}
+	dims = []tuning.Dim{
+		{Key: "repl.oil", Min: 1, Max: 8},
+		{Key: "fuse.crop.histo", Min: 0, Max: 1},
+		{Key: "sequential", Min: 0, Max: 1},
+	}
+	start = map[string]int{"repl.oil": 1, "fuse.crop.histo": 0, "sequential": 1}
+	obj = func(a map[string]int) float64 {
+		cfg := perfmodel.Config{
+			Cores:       cores,
+			Items:       256,
+			Replication: []int{1, 1, a["repl.oil"], 1, 1},
+			Fuse:        []bool{a["fuse.crop.histo"] == 1, false, false, false},
+			Sequential:  a["sequential"] == 1,
+		}
+		return float64(perfmodel.Simulate(stages, cfg).Makespan)
+	}
+	return dims, start, obj
+}
+
+// tunerFor maps an algorithm name to its tuner.
+func tunerFor(algo string) (tuning.Tuner, error) {
+	switch algo {
+	case "linear":
+		return tuning.LinearSearch{}, nil
+	case "nelder-mead":
+		return tuning.NelderMead{}, nil
+	case "tabu":
+		return tuning.TabuSearch{}, nil
+	case "random":
+		return tuning.RandomSearch{Seed: 1}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+// faultsConfig decides deterministically whether a configuration
+// faults under (rate, seed): the verdict is a pure function of the
+// canonical assignment key, so a restarted process condemns the exact
+// same configurations.
+func faultsConfig(a map[string]int, rate int, fseed int64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%s", fseed, tuning.AssignKey(a))
+	return int(h.Sum64()%100) < rate
+}
+
+// runTune executes one auto-tuning search with the full supervision
+// stack: Observed measurement, circuit breaker quarantine, and
+// (optionally) the crash-safe evaluation journal. The wrapper order,
+// innermost first: raw objective → fault/delay shims → Observed.Wrap
+// (measures, flags faults) → GuardObjective (retries, quarantines) →
+// Checkpointer.Wrap (journals, replays) → the tuner's own evaluator.
+func runTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
+	spec = spec.withDefaults()
+	tn, err := tunerFor(spec.Algo)
+	if err != nil {
+		return nil, err
+	}
+	dims, start, raw := tuneWorkload(spec.Cores)
+
+	obj := raw
+	if spec.FaultRate > 0 {
+		inner := obj
+		obj = func(a map[string]int) float64 {
+			if faultsConfig(a, spec.FaultRate, spec.FaultSeed) {
+				return math.Inf(1)
+			}
+			return inner(a)
+		}
+	}
+	if spec.EvalDelayMs > 0 {
+		inner := obj
+		delay := time.Duration(spec.EvalDelayMs) * time.Millisecond
+		obj = func(a map[string]int) float64 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+			}
+			return inner(a)
+		}
+	}
+
+	// The Observed gets a private collector: its per-evaluation Reset
+	// must not wipe the process-wide jobs.* instruments.
+	o := &tuning.Observed{Collector: obs.New()}
+	br := jobs.NewBreaker(spec.BreakerThreshold, 30*time.Second).Instrument(metrics)
+	obj = jobs.GuardObjective(br, o, o.Wrap(obj))
+
+	var ck *tuning.Checkpointer
+	if spec.Checkpoint != "" {
+		meta := tuning.SearchMeta{Algo: spec.Algo, Budget: spec.Budget, Dims: dims, Start: start}
+		var err error
+		ck, _, err = tuning.NewCheckpointer(spec.Checkpoint, meta)
+		if err != nil {
+			return nil, err
+		}
+		br.Restore(ck.Quarantined())
+		ck.Quarantine = br.Quarantined
+		obj = ck.Wrap(obj)
+	}
+
+	res := tn.TuneCtx(ctx, dims, start, obj, spec.Budget)
+	out := &tuneOutcome{
+		Algo:        tn.Name(),
+		Best:        res.Best,
+		Cost:        res.BestCost,
+		Evaluations: res.Evaluations,
+		Interrupted: res.Interrupted,
+		Quarantined: br.Quarantined(),
+		Trace:       res.Trace,
+	}
+	if ck != nil {
+		if err := ck.Flush(); err != nil {
+			return out, fmt.Errorf("checkpoint not durable: %w", err)
+		}
+		out.Explored = ck.Explored()
+		out.Resumed = ck.Resumed()
+	}
+	if res.Err != nil {
+		return out, res.Err
+	}
+	return out, nil
+}
+
+func cmdTune(ctx context.Context, args []string) error {
+	fs := newFlagSet("tune")
+	var spec tuneSpec
+	fs.StringVar(&spec.Algo, "algo", "linear", "linear | nelder-mead | tabu | random")
+	fs.IntVar(&spec.Budget, "budget", 150, "objective evaluations")
+	fs.IntVar(&spec.Cores, "cores", 8, "modelled core count")
+	fs.StringVar(&spec.Checkpoint, "checkpoint", "", "journal evaluations to this file and resume from it")
+	fs.IntVar(&spec.EvalDelayMs, "eval-delay", 0, "milliseconds each fresh evaluation takes (kill-harness pacing)")
+	fs.IntVar(&spec.FaultRate, "fault-rate", 0, "percent of configurations that fault persistently (breaker demo)")
+	fs.Int64Var(&spec.FaultSeed, "fault-seed", 1, "seed selecting which configurations fault")
+	fs.Parse(args)
+
+	out, err := runTune(ctx, spec)
+	if err != nil && out == nil {
+		return err
+	}
+	if out.Interrupted {
+		fmt.Printf("interrupted: best so far %v, cost %.0f after %d evaluations\n",
+			out.Best, out.Cost, out.Evaluations)
+	} else {
+		fmt.Printf("algorithm %s: best %v, cost %.0f after %d evaluations\n",
+			out.Algo, out.Best, out.Cost, out.Evaluations)
+	}
+	if spec.Checkpoint != "" {
+		fmt.Printf("checkpoint %s: %d configs explored (%d replayed from a previous run)\n",
+			spec.Checkpoint, out.Explored, out.Resumed)
+	}
+	if len(out.Quarantined) > 0 {
+		fmt.Printf("breaker quarantined %d configuration(s): %v\n", len(out.Quarantined), out.Quarantined)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println("improving steps (Fig. 4c runtime-tuning view):")
+	for _, p := range out.Trace {
+		fmt.Printf("  eval %3d: %.0f ticks\n", p.Eval, p.Cost)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package checkpoint
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+type snap struct {
+	Name  string         `json:"name"`
+	Count int            `json:"count"`
+	Costs map[string]int `json:"costs"`
+}
+
+func sample() snap {
+	return snap{
+		Name:  "tune",
+		Count: 42,
+		Costs: map[string]int{"repl.oil=4;": 1700, "sequential=1;": 9000},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.ckpt")
+	in := sample()
+	if err := Save(path, "test-snap", in); err != nil {
+		t.Fatal(err)
+	}
+	var out snap
+	if err := Load(path, "test-snap", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestLoadMissingFileIsNotExist(t *testing.T) {
+	var out snap
+	err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), "test-snap", &out)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: got %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatal("a missing file must not read as corruption")
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.ckpt")
+	if err := Save(path, "fuzz-sweep", sample()); err != nil {
+		t.Fatal(err)
+	}
+	var out snap
+	err := Load(path, "tuner-state", &out)
+	if !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("kind mismatch: got %v, want ErrKindMismatch", err)
+	}
+	if errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatal("a kind mismatch is not corruption")
+	}
+}
+
+// TestSaveIsAtomicOverwrite: overwriting a snapshot must leave the old
+// one intact if encoding fails, and replace it whole otherwise.
+func TestSaveIsAtomicOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.ckpt")
+	if err := Save(path, "test-snap", sample()); err != nil {
+		t.Fatal(err)
+	}
+	// Unmarshalable payload: Save must fail before touching the file.
+	if err := Save(path, "test-snap", func() {}); err == nil {
+		t.Fatal("saving an unmarshalable value must fail")
+	}
+	var out snap
+	if err := Load(path, "test-snap", &out); err != nil {
+		t.Fatalf("old snapshot damaged by failed save: %v", err)
+	}
+	next := sample()
+	next.Count = 99
+	if err := Save(path, "test-snap", next); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, "test-snap", &out); err != nil || out.Count != 99 {
+		t.Fatalf("overwrite: %+v, %v", out, err)
+	}
+	if entries, _ := os.ReadDir(filepath.Dir(path)); len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+// TestCheckpointCorruptionEveryOffset is the satellite fuzz test: a
+// snapshot truncated at every possible length and bit-flipped at every
+// byte offset must always load as a typed error — never panic, never
+// silently yield partial state. Flips may hit header or payload alike.
+func TestCheckpointCorruptionEveryOffset(t *testing.T) {
+	raw, err := Encode("test-snap", sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+
+	check := func(label string, mut []byte) {
+		t.Helper()
+		var out snap
+		err := Decode(mut, "test-snap", &out)
+		if err == nil {
+			// The only acceptable "success" would be a byte-identical
+			// file, which no truncation or flip produces.
+			t.Fatalf("%s: corrupted snapshot loaded silently: %+v", label, out)
+		}
+		if !errors.Is(err, ErrCorruptCheckpoint) && !errors.Is(err, ErrKindMismatch) {
+			t.Fatalf("%s: untyped error %v", label, err)
+		}
+		// No partial load: out must not have absorbed recognizable
+		// state before the error surfaced.
+		if out.Count == want.Count && out.Name == want.Name && len(out.Costs) == len(want.Costs) {
+			t.Fatalf("%s: error reported but state partially loaded: %+v", label, out)
+		}
+	}
+
+	for n := 0; n < len(raw); n++ {
+		check("truncate", raw[:n:n])
+	}
+	for i := 0; i < len(raw); i++ {
+		for _, mask := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= mask
+			check("flip", mut)
+		}
+	}
+	// Trailing garbage must not pass either.
+	check("append", append(append([]byte(nil), raw...), 'x'))
+}

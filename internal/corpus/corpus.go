@@ -15,6 +15,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -124,11 +125,22 @@ type Score struct {
 // the sample workloads (detectors that need profiles flag nothing
 // otherwise — exactly like their real counterparts).
 func Evaluate(dets []baseline.Detector, progs []*Program, dynamic bool) ([]Score, error) {
+	return EvaluateCtx(context.Background(), dets, progs, dynamic)
+}
+
+// EvaluateCtx is Evaluate with cancellation: it checks ctx between
+// programs (model building dominates the cost) and returns ctx.Err()
+// with nil scores when interrupted — a partial corpus score would
+// silently misrank detectors.
+func EvaluateCtx(ctx context.Context, dets []baseline.Detector, progs []*Program, dynamic bool) ([]Score, error) {
 	scores := make([]Score, len(dets))
 	for i, d := range dets {
 		scores[i] = Score{Detector: d.Name(), PerProgram: make(map[string]string)}
 	}
 	for _, p := range progs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, err := p.BuildModel(dynamic)
 		if err != nil {
 			return nil, err

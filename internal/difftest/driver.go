@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"go/ast"
@@ -442,21 +443,8 @@ type Summary struct {
 
 // Run generates and checks n programs with per-program seeds derived
 // from baseSeed, reporting each divergence through progress (which
-// may be nil).
+// may be nil). It is RunCtx without cancellation (batch.go).
 func Run(baseSeed int64, n int, opt Options, progress func(string)) *Summary {
-	sum := &Summary{Kinds: make(map[string]int)}
-	for i := 0; i < n; i++ {
-		s := seed.Mix(baseSeed, int64(i))
-		p := Generate(s, GenOptions{})
-		res := Check(p, opt)
-		sum.Programs++
-		sum.Kinds[res.Kind]++
-		if res.Div != nil {
-			sum.Divergences = append(sum.Divergences, res)
-			if progress != nil {
-				progress(res.Div.String())
-			}
-		}
-	}
+	sum, _ := RunCtx(context.Background(), baseSeed, n, opt, progress)
 	return sum
 }

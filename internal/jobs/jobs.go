@@ -1,0 +1,497 @@
+// Package jobs is the supervision layer that turns patty's one-shot
+// detect/tune/fuzz entry points into a service: a bounded admission
+// queue with load shedding, a fixed worker pool whose crashed workers
+// a supervisor restarts with exponential backoff, per-job deadlines
+// and cancellation, and a circuit breaker (breaker.go) that
+// quarantines tuning configurations whose runs repeatedly fault.
+// `patty serve` exposes this over HTTP; every queue/latency/restart
+// signal is published through internal/obs.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"patty/internal/obs"
+)
+
+var (
+	// ErrOverloaded is the admission-control verdict: the queue is
+	// full, the submission was shed. Callers retry later (HTTP 503).
+	ErrOverloaded = errors.New("jobs: queue full, submission shed")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("jobs: service draining, not accepting work")
+	// ErrUnknownJob reports an id the service has never issued.
+	ErrUnknownJob = errors.New("jobs: unknown job id")
+	// ErrNotFinished reports a result request for a still-running job.
+	ErrNotFinished = errors.New("jobs: job not finished")
+)
+
+// Status is a job's lifecycle phase.
+type Status string
+
+const (
+	// StatusQueued: admitted, waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning: a worker is executing the job.
+	StatusRunning Status = "running"
+	// StatusDone: finished successfully; the result is available.
+	StatusDone Status = "done"
+	// StatusFailed: the runner returned an error or panicked.
+	StatusFailed Status = "failed"
+	// StatusCanceled: canceled before or during execution, or timed
+	// out against its deadline.
+	StatusCanceled Status = "canceled"
+)
+
+// Finished reports whether the status is terminal.
+func (s Status) Finished() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Runner executes one job. It must honor ctx: cancellation and the
+// per-job deadline arrive through it. The returned value becomes the
+// job result.
+type Runner func(ctx context.Context) (any, error)
+
+// Info is the externally visible state of a job.
+type Info struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	Status    Status    `json:"status"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+}
+
+// job is the internal record.
+type job struct {
+	mu     sync.Mutex
+	info   Info
+	run    Runner
+	result any
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Options configures a Service. The zero value is usable: 2 workers,
+// queue depth 16, no per-job deadline, metrics discarded.
+type Options struct {
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue (default 16). A full
+	// queue sheds new submissions with ErrOverloaded.
+	QueueDepth int
+	// JobTimeout, when positive, is the per-job deadline; an expired
+	// job is canceled and reported StatusCanceled.
+	JobTimeout time.Duration
+	// Collector receives the service metrics (nil: discarded).
+	Collector *obs.Collector
+	// BackoffBase/BackoffMax shape the supervisor's exponential
+	// restart backoff after a worker crash (defaults 10ms / 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	return o
+}
+
+// Service is the supervised job runner.
+type Service struct {
+	opts  Options
+	queue chan *job
+	stop  chan struct{} // closed by Close/Drain deadline: stop restarts
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	nextID   int
+	draining bool
+	closed   bool
+
+	workers sync.WaitGroup
+
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	submitted  *obs.Counter
+	shed       *obs.Counter
+	doneCnt    *obs.Counter
+	failedCnt  *obs.Counter
+	cancelCnt  *obs.Counter
+	restarts   *obs.Counter
+	latency    *obs.Histogram
+	runTime    *obs.Histogram
+}
+
+// New starts a Service with opts.Workers supervised workers.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	c := opts.Collector
+	s := &Service{
+		opts:       opts,
+		queue:      make(chan *job, opts.QueueDepth),
+		stop:       make(chan struct{}),
+		jobs:       make(map[string]*job),
+		queueDepth: c.Gauge("jobs.queue.depth"),
+		running:    c.Gauge("jobs.running"),
+		submitted:  c.Counter("jobs.submitted"),
+		shed:       c.Counter("jobs.shed"),
+		doneCnt:    c.Counter("jobs.done"),
+		failedCnt:  c.Counter("jobs.failed"),
+		cancelCnt:  c.Counter("jobs.canceled"),
+		restarts:   c.Counter("jobs.worker.restarts"),
+		latency:    c.Histogram("jobs.latency_ns"),
+		runTime:    c.Histogram("jobs.run_ns"),
+	}
+	c.Gauge("jobs.queue.cap").Set(int64(opts.QueueDepth))
+	c.Gauge("jobs.workers").Set(int64(opts.Workers))
+	for i := 0; i < opts.Workers; i++ {
+		s.workers.Add(1)
+		go s.supervise(i)
+	}
+	return s
+}
+
+// Submit admits a job, or sheds it. Admission control is strictly
+// non-blocking: a full queue answers ErrOverloaded immediately, never
+// queues the caller.
+func (s *Service) Submit(kind string, run Runner) (string, error) {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	s.nextID++
+	j := &job{
+		info: Info{
+			ID:        fmt.Sprintf("j%d", s.nextID),
+			Kind:      kind,
+			Status:    StatusQueued,
+			Submitted: time.Now(),
+		},
+		run:  run,
+		done: make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.info.ID] = j
+		s.mu.Unlock()
+		s.submitted.Inc()
+		s.queueDepth.Set(int64(len(s.queue)))
+		return j.info.ID, nil
+	default:
+		// Undo the id so shed submissions leave no trace.
+		s.nextID--
+		s.mu.Unlock()
+		s.shed.Inc()
+		return "", ErrOverloaded
+	}
+}
+
+// supervise owns one worker slot: it runs the worker loop and, when
+// the worker crashes (a panic escaping a job), restarts it after an
+// exponential backoff that resets on every job completed cleanly.
+func (s *Service) supervise(slot int) {
+	defer s.workers.Done()
+	backoff := s.opts.BackoffBase
+	for {
+		crashed := s.worker()
+		if !crashed {
+			return // queue closed: clean shutdown
+		}
+		s.restarts.Inc()
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > s.opts.BackoffMax {
+			backoff = s.opts.BackoffMax
+		}
+	}
+}
+
+// worker drains the queue until it is closed (returns false) or a job
+// panic crashes it (returns true). The in-flight job is finalized as
+// failed before the crash propagates to the supervisor, so a panicking
+// runner costs its own job and a restart delay — never the service.
+func (s *Service) worker() (crashed bool) {
+	var current *job
+	defer func() {
+		if r := recover(); r != nil {
+			if current != nil {
+				s.finish(current, nil, fmt.Errorf("job panicked: %v\n%s", r, debug.Stack()))
+			}
+			crashed = true
+		}
+	}()
+	for j := range s.queue {
+		s.queueDepth.Set(int64(len(s.queue)))
+		if !s.start(j) {
+			continue // canceled while queued
+		}
+		current = j
+		res, err := j.run(jobContext(j))
+		s.finish(j, res, err)
+		current = nil
+	}
+	return false
+}
+
+// jobContext returns the context the runner was armed with.
+func jobContext(j *job) context.Context {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ctx
+}
+
+// start transitions a dequeued job to running and arms its context.
+func (s *Service) start(j *job) bool {
+	j.mu.Lock()
+	if j.info.Status != StatusQueued { // canceled while waiting
+		j.mu.Unlock()
+		return false
+	}
+	if s.opts.JobTimeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(context.Background(), s.opts.JobTimeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+	}
+	j.info.Status = StatusRunning
+	j.info.Started = time.Now()
+	j.mu.Unlock()
+	s.running.Add(1)
+	return true
+}
+
+// finish finalizes a job in any terminal state and publishes metrics.
+func (s *Service) finish(j *job, res any, err error) {
+	j.mu.Lock()
+	if j.info.Status.Finished() {
+		j.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	j.info.Finished = now
+	canceled := j.ctx != nil && j.ctx.Err() != nil
+	switch {
+	case err == nil:
+		j.info.Status = StatusDone
+		j.result = res
+	case canceled || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.info.Status = StatusCanceled
+		j.info.Error = err.Error()
+	default:
+		j.info.Status = StatusFailed
+		j.info.Error = err.Error()
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	status := j.info.Status
+	started, submitted := j.info.Started, j.info.Submitted
+	j.mu.Unlock()
+
+	s.running.Add(-1)
+	switch status {
+	case StatusDone:
+		s.doneCnt.Inc()
+	case StatusCanceled:
+		s.cancelCnt.Inc()
+	default:
+		s.failedCnt.Inc()
+	}
+	s.latency.Record(now.Sub(submitted).Nanoseconds())
+	if !started.IsZero() {
+		s.runTime.Record(now.Sub(started).Nanoseconds())
+	}
+	close(j.done)
+}
+
+// lookup fetches a job by id.
+func (s *Service) lookup(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Status returns a copy of the job's visible state.
+func (s *Service) Status(id string) (Info, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info, nil
+}
+
+// Result returns a finished job's result value.
+func (s *Service) Result(id string) (any, Info, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.info.Status.Finished() {
+		return nil, j.info, fmt.Errorf("%w: %s is %s", ErrNotFinished, id, j.info.Status)
+	}
+	return j.result, j.info, nil
+}
+
+// Cancel stops a job: queued jobs are finalized immediately, running
+// jobs get their context canceled (the runner decides how fast to
+// stop). Canceling a finished job is a no-op.
+func (s *Service) Cancel(id string) error {
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	switch {
+	case j.info.Status == StatusQueued:
+		j.info.Status = StatusCanceled
+		j.info.Error = "canceled while queued"
+		j.info.Finished = time.Now()
+		j.mu.Unlock()
+		s.cancelCnt.Inc()
+		close(j.done)
+	case j.info.Status == StatusRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// Wait blocks until the job finishes or ctx is done.
+func (s *Service) Wait(ctx context.Context, id string) (Info, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return Info{}, ctx.Err()
+	}
+}
+
+// Jobs lists a snapshot of every job's Info, newest submission first.
+func (s *Service) Jobs() []Info {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	out := make([]Info, 0, len(js))
+	for _, j := range js {
+		j.mu.Lock()
+		out = append(out, j.info)
+		j.mu.Unlock()
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Submitted.Equal(out[k].Submitted) {
+			return out[i].Submitted.After(out[k].Submitted)
+		}
+		return out[i].ID > out[k].ID
+	})
+	return out
+}
+
+// Draining reports whether the service has stopped admitting work.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+// Drain performs graceful shutdown: admission stops (new submissions
+// get ErrDraining), queued and in-flight jobs run to completion, and
+// the worker pool exits. When ctx expires first — the hard deadline —
+// every remaining job is canceled and Drain waits for the workers to
+// observe the cancellation before returning ctx's error.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !alreadyDraining {
+		close(s.queue) // Submit checks draining under s.mu before sending
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		s.markClosed()
+		return nil
+	case <-ctx.Done():
+		// Hard deadline: cancel everything still alive and stop
+		// supervisor restarts, then wait for the workers.
+		s.markClosed()
+		for _, info := range s.Jobs() {
+			if !info.Status.Finished() {
+				s.Cancel(info.ID)
+			}
+		}
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// markClosed flips the terminal flag and stops supervisor restarts.
+func (s *Service) markClosed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
+}
+
+// Close is Drain with an immediate hard deadline: cancel everything,
+// wait for workers, return.
+func (s *Service) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+}

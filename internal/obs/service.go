@@ -1,0 +1,108 @@
+package obs
+
+// Service-layer metric key grammar, published by internal/jobs:
+//
+//	jobs.queue.depth           gauge    (instantaneous admission queue)
+//	jobs.queue.cap             gauge    (admission queue bound)
+//	jobs.running               gauge    (jobs in flight)
+//	jobs.workers               gauge    (worker-pool size)
+//	jobs.submitted             counter  (admitted jobs)
+//	jobs.shed                  counter  (submissions refused: overload)
+//	jobs.done                  counter
+//	jobs.failed                counter
+//	jobs.canceled              counter
+//	jobs.worker.restarts       counter  (supervisor restarts after crash)
+//	jobs.latency_ns            histogram (submit -> terminal)
+//	jobs.run_ns                histogram (start -> terminal)
+//	jobs.breaker.trips         counter  (configs newly quarantined)
+//	jobs.breaker.shortcircuits counter  (calls refused while quarantined)
+//	jobs.breaker.open          gauge    (currently quarantined configs)
+//
+// The keys live beside the pattern keys in one Collector; Analyze
+// skips them (no pattern kind prefix) and AnalyzeService digests them.
+
+// ServiceHealth is the digest of the jobs.* keys in a Snapshot — the
+// service-level analogue of PatternAnalysis, feeding report.ServiceTable
+// and the /statusz endpoint of `patty serve`.
+type ServiceHealth struct {
+	QueueDepth int64 `json:"queue_depth"`
+	QueueCap   int64 `json:"queue_cap"`
+	Running    int64 `json:"running"`
+	Workers    int64 `json:"workers"`
+
+	Submitted int64 `json:"submitted"`
+	Shed      int64 `json:"shed"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+
+	WorkerRestarts int64 `json:"worker_restarts"`
+
+	BreakerTrips         int64 `json:"breaker_trips"`
+	BreakerShortCircuits int64 `json:"breaker_shortcircuits"`
+	BreakerOpen          int64 `json:"breaker_open"`
+
+	Latency HistSnapshot `json:"latency_ns"`
+	RunTime HistSnapshot `json:"run_ns"`
+}
+
+// AnalyzeService extracts the service digest from a snapshot. ok is
+// false when the snapshot holds no jobs.* signal at all (the collector
+// never served jobs).
+func AnalyzeService(s Snapshot) (h ServiceHealth, ok bool) {
+	h = ServiceHealth{
+		QueueDepth:           s.Gauges["jobs.queue.depth"],
+		QueueCap:             s.Gauges["jobs.queue.cap"],
+		Running:              s.Gauges["jobs.running"],
+		Workers:              s.Gauges["jobs.workers"],
+		Submitted:            s.Counters["jobs.submitted"],
+		Shed:                 s.Counters["jobs.shed"],
+		Done:                 s.Counters["jobs.done"],
+		Failed:               s.Counters["jobs.failed"],
+		Canceled:             s.Counters["jobs.canceled"],
+		WorkerRestarts:       s.Counters["jobs.worker.restarts"],
+		BreakerTrips:         s.Counters["jobs.breaker.trips"],
+		BreakerShortCircuits: s.Counters["jobs.breaker.shortcircuits"],
+		BreakerOpen:          s.Gauges["jobs.breaker.open"],
+		Latency:              s.Histograms["jobs.latency_ns"],
+		RunTime:              s.Histograms["jobs.run_ns"],
+	}
+	ok = h.QueueCap > 0 || h.Workers > 0 || h.Submitted > 0 || h.Shed > 0
+	return h, ok
+}
+
+// QueueFill is the admission-queue occupancy in [0,1] (0 when the cap
+// is unknown).
+func (h ServiceHealth) QueueFill() float64 {
+	if h.QueueCap <= 0 {
+		return 0
+	}
+	return float64(h.QueueDepth) / float64(h.QueueCap)
+}
+
+// ShedRate is the fraction of submission attempts refused by admission
+// control.
+func (h ServiceHealth) ShedRate() float64 {
+	attempts := h.Submitted + h.Shed
+	if attempts == 0 {
+		return 0
+	}
+	return float64(h.Shed) / float64(attempts)
+}
+
+// Finished is the number of jobs that reached a terminal state.
+func (h ServiceHealth) Finished() int64 { return h.Done + h.Failed + h.Canceled }
+
+// Pending is the number of admitted jobs not yet terminal.
+func (h ServiceHealth) Pending() int64 {
+	if p := h.Submitted - h.Finished(); p > 0 {
+		return p
+	}
+	return 0
+}
+
+// Degraded reports whether the service shows distress: load shedding,
+// crashed workers, or quarantined configurations.
+func (h ServiceHealth) Degraded() bool {
+	return h.Shed > 0 || h.WorkerRestarts > 0 || h.BreakerOpen > 0
+}

@@ -1,12 +1,19 @@
 package study
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"strings"
 
 	"patty/internal/baseline"
+	"patty/internal/checkpoint"
 	"patty/internal/corpus"
 )
+
+// OutcomeKind tags measured-outcome snapshots in the checkpoint
+// envelope.
+const OutcomeKind = "study-outcome"
 
 // MeasuredOutcome recomputes the tool outcome by running the actual
 // detectors on the raytrace corpus benchmark (experiment E5's link
@@ -46,6 +53,30 @@ func MeasuredOutcome() (ToolOutcome, error) {
 		PattyFalse:    pfp,
 		ProfilerFinds: htp,
 	}, nil
+}
+
+// MeasuredOutcomeCached is MeasuredOutcome behind a crash-safe
+// snapshot: a valid checkpoint at path answers without re-running the
+// detectors, a missing one triggers the measurement and persists it,
+// and a corrupt one is measured over and rewritten (the measurement is
+// the source of truth; the snapshot only saves time on restart).
+// resumed reports whether the outcome came from the snapshot.
+func MeasuredOutcomeCached(path string) (out ToolOutcome, resumed bool, err error) {
+	loadErr := checkpoint.Load(path, OutcomeKind, &out)
+	if loadErr == nil {
+		return out, true, nil
+	}
+	if !errors.Is(loadErr, fs.ErrNotExist) && !errors.Is(loadErr, checkpoint.ErrCorruptCheckpoint) {
+		return ToolOutcome{}, false, loadErr
+	}
+	out, err = MeasuredOutcome()
+	if err != nil {
+		return ToolOutcome{}, false, err
+	}
+	if err := checkpoint.Save(path, OutcomeKind, &out); err != nil {
+		return ToolOutcome{}, false, err
+	}
+	return out, false, nil
 }
 
 // FormatTable1 renders the comprehensibility table (paper Table 1).

@@ -1,0 +1,170 @@
+package tuning
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"sort"
+
+	"patty/internal/checkpoint"
+)
+
+// CheckpointKind tags tuner-search snapshots in the checkpoint
+// envelope, so a fuzz-sweep file can never be mistaken for one.
+const CheckpointKind = "tuning-search"
+
+// ErrCheckpointMismatch reports a checkpoint written by a different
+// search (other algorithm, budget, dimensions or start point):
+// resuming it would silently answer a different question.
+var ErrCheckpointMismatch = errors.New("tuning: checkpoint belongs to a different search")
+
+// SearchMeta pins the identity of a search. Two runs with equal meta
+// and a deterministic tuner evaluate configurations in the same order,
+// which is what makes resume-from-checkpoint converge to the same best
+// as an uninterrupted run.
+type SearchMeta struct {
+	Algo   string         `json:"algo"`
+	Budget int            `json:"budget"`
+	Dims   []Dim          `json:"dims"`
+	Start  map[string]int `json:"start"`
+}
+
+// signature is the canonical comparable form of a SearchMeta.
+func (m SearchMeta) signature() string {
+	dims := append([]Dim(nil), m.Dims...)
+	sort.Slice(dims, func(i, j int) bool { return dims[i].Key < dims[j].Key })
+	s := fmt.Sprintf("algo=%s;budget=%d;start=%s;", m.Algo, m.Budget, assignKey(m.Start))
+	for _, d := range dims {
+		s += fmt.Sprintf("dim=%s[%d..%d/%d];", d.Key, d.Min, d.Max, d.step())
+	}
+	return s
+}
+
+// EvalRecord is one completed objective evaluation. Faulted
+// evaluations (cost +Inf under Observed) are stored with the flag
+// instead of the non-JSON-encodable infinity.
+type EvalRecord struct {
+	Assignment map[string]int `json:"assignment"`
+	Cost       float64        `json:"cost"`
+	Faulted    bool           `json:"faulted,omitempty"`
+}
+
+// SearchState is the serialized progress of a tuning search: which
+// configurations were measured, at what cost, and which ones the
+// circuit breaker quarantined.
+type SearchState struct {
+	Meta        SearchMeta   `json:"meta"`
+	Evals       []EvalRecord `json:"evals"`
+	Quarantined []string     `json:"quarantined,omitempty"`
+}
+
+// Checkpointer makes a search resumable by journaling every objective
+// evaluation to a snapshot file. Wrap sits between the tuner and the
+// objective: a configuration already in the snapshot returns its
+// recorded cost instantly (no re-measurement), so a restarted
+// deterministic search fast-forwards through the completed prefix and
+// continues exactly where the killed run stopped.
+type Checkpointer struct {
+	path string
+	// Quarantine, when non-nil, supplies the currently quarantined
+	// configuration keys (jobs.Breaker.Quarantined) to persist with
+	// every snapshot.
+	Quarantine func() []string
+
+	state   SearchState
+	cache   map[string]EvalRecord
+	resumed int
+	saveErr error
+}
+
+// NewCheckpointer opens or creates the snapshot at path for the given
+// search. resumed reports how many completed evaluations were loaded.
+// A snapshot for a different search fails with ErrCheckpointMismatch;
+// a damaged snapshot fails with checkpoint.ErrCorruptCheckpoint — the
+// caller decides whether to delete and start over.
+func NewCheckpointer(path string, meta SearchMeta) (c *Checkpointer, resumed int, err error) {
+	c = &Checkpointer{path: path, cache: make(map[string]EvalRecord)}
+	c.state.Meta = meta
+	err = checkpoint.Load(path, CheckpointKind, &c.state)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh run; first Save creates the file.
+	case err != nil:
+		return nil, 0, err
+	default:
+		if c.state.Meta.signature() != meta.signature() {
+			return nil, 0, fmt.Errorf("%w: snapshot %q holds %s, this run is %s",
+				ErrCheckpointMismatch, path, c.state.Meta.signature(), meta.signature())
+		}
+		for _, rec := range c.state.Evals {
+			c.cache[assignKey(rec.Assignment)] = rec
+		}
+		c.resumed = len(c.state.Evals)
+	}
+	c.state.Meta = meta
+	return c, c.resumed, nil
+}
+
+// Wrap interposes the journal: cached assignments replay their
+// recorded cost, new assignments run obj and are persisted before the
+// cost is returned to the search.
+func (c *Checkpointer) Wrap(obj Objective) Objective {
+	return func(a map[string]int) float64 {
+		key := assignKey(a)
+		if rec, ok := c.cache[key]; ok {
+			return rec.cost()
+		}
+		cost := obj(a)
+		rec := EvalRecord{Assignment: copyAssign(a), Cost: cost}
+		if math.IsInf(cost, 1) || math.IsNaN(cost) || math.IsInf(cost, -1) {
+			rec.Cost, rec.Faulted = 0, true
+		}
+		c.cache[key] = rec
+		c.state.Evals = append(c.state.Evals, rec)
+		if err := c.save(); err != nil && c.saveErr == nil {
+			c.saveErr = err
+		}
+		return rec.cost()
+	}
+}
+
+// cost reconstructs the in-memory cost of a record.
+func (r EvalRecord) cost() float64 {
+	if r.Faulted {
+		return math.Inf(1)
+	}
+	return r.Cost
+}
+
+// save snapshots the current state (including the live quarantine set).
+func (c *Checkpointer) save() error {
+	if c.Quarantine != nil {
+		c.state.Quarantined = c.Quarantine()
+	}
+	return checkpoint.Save(c.path, CheckpointKind, &c.state)
+}
+
+// Flush persists the final state once more (picking up quarantine
+// changes after the last evaluation) and reports the first error any
+// save hit; a search whose journal could not be written must not
+// advertise itself as resumable.
+func (c *Checkpointer) Flush() error {
+	if err := c.save(); err != nil && c.saveErr == nil {
+		c.saveErr = err
+	}
+	return c.saveErr
+}
+
+// Explored is the number of distinct configurations measured across
+// all runs of this search (resumed prefix included).
+func (c *Checkpointer) Explored() int { return len(c.cache) }
+
+// Resumed is the number of evaluations replayed from the snapshot.
+func (c *Checkpointer) Resumed() int { return c.resumed }
+
+// Quarantined returns the configuration keys the snapshot recorded as
+// circuit-breaker quarantined, for Breaker.Restore on resume.
+func (c *Checkpointer) Quarantined() []string {
+	return append([]string(nil), c.state.Quarantined...)
+}

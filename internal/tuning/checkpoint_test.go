@@ -1,0 +1,191 @@
+package tuning
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"patty/internal/checkpoint"
+)
+
+// rastrigin-ish deterministic objective with a unique optimum.
+func bowl(a map[string]int) float64 {
+	x, y := float64(a["x"]-7), float64(a["y"]-3)
+	return x*x + 2*y*y + 5
+}
+
+func bowlDims() []Dim {
+	return []Dim{{Key: "x", Min: 0, Max: 15}, {Key: "y", Min: 0, Max: 15}}
+}
+
+func bowlStart() map[string]int { return map[string]int{"x": 0, "y": 15} }
+
+func TestTuneCtxCancelReturnsBestSoFar(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	obj := func(a map[string]int) float64 {
+		evals++
+		if evals == 5 {
+			cancel()
+		}
+		return bowl(a)
+	}
+	res := LinearSearch{}.TuneCtx(ctx, bowlDims(), bowlStart(), obj, 500)
+	if !res.Interrupted {
+		t.Fatal("canceled search must report Interrupted")
+	}
+	if evals > 6 {
+		t.Fatalf("search kept evaluating after cancel: %d evals", evals)
+	}
+	if res.Best == nil || math.IsInf(res.BestCost, 1) {
+		t.Fatalf("canceled search must keep best-so-far, got %+v", res)
+	}
+}
+
+func TestAllConfigsFaultedTyped(t *testing.T) {
+	faulting := func(map[string]int) float64 { return math.Inf(1) }
+	res := LinearSearch{}.Tune(bowlDims(), bowlStart(), faulting, 40)
+	if !errors.Is(res.Err, ErrAllConfigsFaulted) {
+		t.Fatalf("all-faulted search: Err = %v, want ErrAllConfigsFaulted", res.Err)
+	}
+	// A healthy ridge clears the condition (reachable one dimension at
+	// a time, which is how LinearSearch walks).
+	oneGood := func(a map[string]int) float64 {
+		if a["x"] == 7 {
+			return float64(1 + (a["y"]-3)*(a["y"]-3))
+		}
+		return math.Inf(1)
+	}
+	res = LinearSearch{}.Tune(bowlDims(), bowlStart(), oneGood, 200)
+	if res.Err != nil {
+		t.Fatalf("search with a healthy config must not error: %v", res.Err)
+	}
+	if res.Best["x"] != 7 || res.Best["y"] != 3 {
+		t.Fatalf("best %v, want the healthy config", res.Best)
+	}
+}
+
+// TestCheckpointResumeConvergesIdentically is the package-level half
+// of the kill-and-restart contract: interrupt a checkpointed search
+// mid-run, resume it from the snapshot, and require the identical best
+// configuration (and no fewer explored configs) as an uninterrupted
+// run — without re-measuring the completed prefix.
+func TestCheckpointResumeConvergesIdentically(t *testing.T) {
+	for _, tn := range []Tuner{LinearSearch{}, TabuSearch{}, RandomSearch{Seed: 7}, NelderMead{}} {
+		t.Run(tn.Name(), func(t *testing.T) {
+			meta := SearchMeta{Algo: tn.Name(), Budget: 120, Dims: bowlDims(), Start: bowlStart()}
+
+			// Reference: uninterrupted, no checkpoint.
+			ref := tn.Tune(meta.Dims, meta.Start, bowl, meta.Budget)
+
+			// Interrupted: cancel after 9 fresh evaluations.
+			path := filepath.Join(t.TempDir(), "search.ckpt")
+			ck1, resumed, err := NewCheckpointer(path, meta)
+			if err != nil || resumed != 0 {
+				t.Fatalf("fresh checkpointer: resumed=%d err=%v", resumed, err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			fresh := 0
+			counting := func(a map[string]int) float64 {
+				fresh++
+				if fresh == 9 {
+					cancel()
+				}
+				return bowl(a)
+			}
+			half := tn.TuneCtx(ctx, meta.Dims, meta.Start, ck1.Wrap(counting), meta.Budget)
+			if !half.Interrupted {
+				t.Fatal("first leg should have been interrupted")
+			}
+			if err := ck1.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Resume: a brand-new checkpointer over the same file.
+			ck2, resumed, err := NewCheckpointer(path, meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed == 0 {
+				t.Fatal("resume loaded no completed evaluations")
+			}
+			rerun := 0
+			res := tn.Tune(meta.Dims, meta.Start, ck2.Wrap(func(a map[string]int) float64 {
+				rerun++
+				return bowl(a)
+			}), meta.Budget)
+
+			if AssignKey(res.Best) != AssignKey(ref.Best) || res.BestCost != ref.BestCost {
+				t.Fatalf("resumed best %v (%.1f) != uninterrupted best %v (%.1f)",
+					res.Best, res.BestCost, ref.Best, ref.BestCost)
+			}
+			if ck2.Explored() < ref.Evaluations {
+				t.Fatalf("resumed run explored %d configs, uninterrupted run %d",
+					ck2.Explored(), ref.Evaluations)
+			}
+			if rerun+resumed != ck2.Explored() {
+				t.Fatalf("resume re-measured the prefix: %d fresh + %d resumed != %d explored",
+					rerun, resumed, ck2.Explored())
+			}
+		})
+	}
+}
+
+func TestCheckpointMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	meta := SearchMeta{Algo: "linear", Budget: 50, Dims: bowlDims(), Start: bowlStart()}
+	ck, _, err := NewCheckpointer(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Wrap(bowl)(bowlStart())
+	other := meta
+	other.Budget = 99
+	if _, _, err := NewCheckpointer(path, other); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("budget change: got %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestCheckpointQuarantinePersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	meta := SearchMeta{Algo: "linear", Budget: 50, Dims: bowlDims(), Start: bowlStart()}
+	ck, _, err := NewCheckpointer(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Quarantine = func() []string { return []string{"x=1;y=2;"} }
+	ck.Wrap(bowl)(bowlStart())
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ck2, _, err := NewCheckpointer(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := ck2.Quarantined(); len(q) != 1 || q[0] != "x=1;y=2;" {
+		t.Fatalf("quarantine set lost: %v", q)
+	}
+}
+
+func TestCheckpointCorruptSurfacesTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	meta := SearchMeta{Algo: "linear", Budget: 50, Dims: bowlDims(), Start: bowlStart()}
+	ck, _, err := NewCheckpointer(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Wrap(bowl)(bowlStart())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewCheckpointer(path, meta); !errors.Is(err, checkpoint.ErrCorruptCheckpoint) {
+		t.Fatalf("truncated snapshot: got %v, want ErrCorruptCheckpoint", err)
+	}
+}

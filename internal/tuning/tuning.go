@@ -12,7 +12,9 @@
 package tuning
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,6 +23,13 @@ import (
 
 	"patty/internal/parrt"
 )
+
+// ErrAllConfigsFaulted reports a search in which every evaluated
+// configuration faulted (Observed gives faulted runs +Inf cost): there
+// is no meaningful best, and Result.Best is only the start assignment
+// echoed back. Callers must treat the run as failed rather than apply
+// that configuration.
+var ErrAllConfigsFaulted = errors.New("tuning: every evaluated configuration faulted; no usable best")
 
 // Entry is one tuning parameter as serialized to the configuration
 // file: key, code location, domain and current value.
@@ -129,6 +138,13 @@ type Result struct {
 	// evaluation because runtime metrics proved them dominated
 	// (LinearSearch with an Observer; see Observed.DominatesAbove).
 	Pruned int
+	// Interrupted is set when the search stopped because its context
+	// was canceled (SIGINT, job cancellation, deadline): Best is the
+	// best-so-far configuration, not the converged one.
+	Interrupted bool
+	// Err is ErrAllConfigsFaulted when at least one configuration was
+	// evaluated and every single one faulted — Best is meaningless.
+	Err error
 }
 
 // TracePoint is one improving step of a tuning run.
@@ -144,11 +160,16 @@ type Tuner interface {
 	// Tune searches the space defined by dims, starting from start,
 	// calling obj at most budget times.
 	Tune(dims []Dim, start map[string]int, obj Objective, budget int) Result
+	// TuneCtx is Tune with cooperative cancellation: the search stops
+	// at the next evaluation boundary once ctx is done and returns the
+	// best-so-far Result with Interrupted set.
+	TuneCtx(ctx context.Context, dims []Dim, start map[string]int, obj Objective, budget int) Result
 }
 
 // --- helpers shared by the tuners ---
 
 type evaluator struct {
+	ctx    context.Context
 	obj    Objective
 	budget int
 	res    Result
@@ -158,15 +179,25 @@ type evaluator struct {
 	requests int
 }
 
-func newEvaluator(obj Objective, budget int, start map[string]int) *evaluator {
-	e := &evaluator{obj: obj, budget: budget, cache: make(map[string]float64)}
+func newEvaluator(ctx context.Context, obj Objective, budget int, start map[string]int) *evaluator {
+	e := &evaluator{ctx: ctx, obj: obj, budget: budget, cache: make(map[string]float64)}
 	e.res.Best = copyAssign(start)
 	e.res.BestCost = math.Inf(1)
 	return e
 }
 
 func (e *evaluator) exhausted() bool {
-	return e.res.Evaluations >= e.budget || e.requests >= 20*e.budget
+	return e.ctx.Err() != nil || e.res.Evaluations >= e.budget || e.requests >= 20*e.budget
+}
+
+// finish finalizes the shared Result: flags interruption and the
+// all-configurations-faulted condition.
+func (e *evaluator) finish() Result {
+	e.res.Interrupted = e.ctx.Err() != nil
+	if e.res.Evaluations > 0 && math.IsInf(e.res.BestCost, 1) {
+		e.res.Err = ErrAllConfigsFaulted
+	}
+	return e.res
 }
 
 func (e *evaluator) eval(a map[string]int) float64 {
@@ -196,6 +227,11 @@ func copyAssign(a map[string]int) map[string]int {
 	}
 	return out
 }
+
+// AssignKey renders an assignment in canonical form — sorted
+// "key=value;" pairs — the identity under which configurations are
+// cached, checkpointed and circuit-breaker quarantined.
+func AssignKey(a map[string]int) string { return assignKey(a) }
 
 func assignKey(a map[string]int) string {
 	keys := make([]string, 0, len(a))
@@ -240,7 +276,12 @@ func (LinearSearch) Name() string { return "linear" }
 
 // Tune implements Tuner.
 func (ls LinearSearch) Tune(dims []Dim, start map[string]int, obj Objective, budget int) Result {
-	e := newEvaluator(obj, budget, start)
+	return ls.TuneCtx(context.Background(), dims, start, obj, budget)
+}
+
+// TuneCtx implements Tuner.
+func (ls LinearSearch) TuneCtx(ctx context.Context, dims []Dim, start map[string]int, obj Objective, budget int) Result {
+	e := newEvaluator(ctx, obj, budget, start)
 	cur := copyAssign(start)
 	e.eval(cur)
 	for improved := true; improved && !e.exhausted(); {
@@ -271,7 +312,7 @@ func (ls LinearSearch) Tune(dims []Dim, start map[string]int, obj Objective, bud
 			}
 		}
 	}
-	return e.res
+	return e.finish()
 }
 
 // RandomSearch samples uniformly — the sanity baseline every smarter
@@ -286,12 +327,17 @@ func (r RandomSearch) Name() string { return "random" }
 
 // Tune implements Tuner.
 func (r RandomSearch) Tune(dims []Dim, start map[string]int, obj Objective, budget int) Result {
+	return r.TuneCtx(context.Background(), dims, start, obj, budget)
+}
+
+// TuneCtx implements Tuner.
+func (r RandomSearch) TuneCtx(ctx context.Context, dims []Dim, start map[string]int, obj Objective, budget int) Result {
 	seed := r.Seed
 	if seed == 0 {
 		seed = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	e := newEvaluator(obj, budget, start)
+	e := newEvaluator(ctx, obj, budget, start)
 	e.eval(start)
 	for !e.exhausted() {
 		cand := copyAssign(start)
@@ -301,7 +347,7 @@ func (r RandomSearch) Tune(dims []Dim, start map[string]int, obj Objective, budg
 		}
 		e.eval(cand)
 	}
-	return e.res
+	return e.finish()
 }
 
 // TabuSearch is a local search that never revisits recently seen
@@ -316,11 +362,16 @@ func (t TabuSearch) Name() string { return "tabu" }
 
 // Tune implements Tuner.
 func (t TabuSearch) Tune(dims []Dim, start map[string]int, obj Objective, budget int) Result {
+	return t.TuneCtx(context.Background(), dims, start, obj, budget)
+}
+
+// TuneCtx implements Tuner.
+func (t TabuSearch) TuneCtx(ctx context.Context, dims []Dim, start map[string]int, obj Objective, budget int) Result {
 	tenure := t.Tenure
 	if tenure <= 0 {
 		tenure = 16
 	}
-	e := newEvaluator(obj, budget, start)
+	e := newEvaluator(ctx, obj, budget, start)
 	cur := copyAssign(start)
 	e.eval(cur)
 	tabu := map[string]bool{assignKey(cur): true}
@@ -363,7 +414,7 @@ func (t TabuSearch) Tune(dims []Dim, start map[string]int, obj Objective, budget
 			order = order[1:]
 		}
 	}
-	return e.res
+	return e.finish()
 }
 
 // NelderMead is the derivative-free downhill-simplex method (paper
@@ -375,12 +426,17 @@ type NelderMead struct{}
 func (NelderMead) Name() string { return "nelder-mead" }
 
 // Tune implements Tuner.
-func (NelderMead) Tune(dims []Dim, start map[string]int, obj Objective, budget int) Result {
-	e := newEvaluator(obj, budget, start)
+func (nm NelderMead) Tune(dims []Dim, start map[string]int, obj Objective, budget int) Result {
+	return nm.TuneCtx(context.Background(), dims, start, obj, budget)
+}
+
+// TuneCtx implements Tuner.
+func (NelderMead) TuneCtx(ctx context.Context, dims []Dim, start map[string]int, obj Objective, budget int) Result {
+	e := newEvaluator(ctx, obj, budget, start)
 	n := len(dims)
 	if n == 0 {
 		e.eval(start)
-		return e.res
+		return e.finish()
 	}
 	rng := rand.New(rand.NewSource(1))
 
@@ -505,5 +561,5 @@ func (NelderMead) Tune(dims []Dim, start map[string]int, obj Objective, budget i
 			}
 		}
 	}
-	return e.res
+	return e.finish()
 }
