@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz faults chaos bench lint eval study examples clean
+.PHONY: all build test race fuzz faults chaos fleet bench bench-fleet lint eval study examples clean
 
 all: build test
 
@@ -43,6 +43,16 @@ chaos:
 		-run 'KillRestart|ServeChaos|FuzzCheckpoint|Storm|Breaker|CheckpointResume|CorruptionEveryOffset' \
 		./cmd/patty/ ./internal/jobs/ ./internal/tuning/ ./internal/checkpoint/
 
+# fleet is the distributed-tuning gate: the coordinator/worker suite
+# under -race — shard partitioning, lease expiry, work stealing,
+# coordinator crash resume, worker cache replay, intake hardening —
+# plus the CLI chaos leg that SIGKILLs one of three real `patty
+# worker` processes mid-search and requires the merged best to equal
+# the uninterrupted local reference, with zero leaked goroutines.
+fleet:
+	$(GO) test -race -count=1 -timeout 120s ./internal/fleet/
+	$(GO) test -race -count=1 -timeout 120s -run 'Fleet|ServeIntakeHardening' ./cmd/patty/
+
 # lint fails when any file needs gofmt or go vet finds an issue; CI
 # runs this on every push (see .github/workflows/ci.yml).
 lint:
@@ -54,6 +64,12 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# bench-fleet refreshes BENCH_fleet.json: the fixed-seed search at 1,
+# 2 and 4 in-process workers against the local reference, asserting
+# the merged best matches at every point.
+bench-fleet:
+	$(GO) run ./cmd/patty fleetbench -o BENCH_fleet.json
 
 eval:
 	$(GO) run ./cmd/patty eval

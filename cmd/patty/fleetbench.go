@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"patty/internal/fleet"
+	"patty/internal/jobs"
+	"patty/internal/obs"
+)
+
+// fleetBenchPoint is one worker-count measurement of the fleet
+// baseline.
+type fleetBenchPoint struct {
+	Workers      int     `json:"workers"`
+	WallMs       float64 `json:"wall_ms"`
+	Speedup      float64 `json:"speedup_vs_local"`
+	Merged       int     `json:"merged"`
+	Duplicates   int     `json:"duplicates"`
+	Stolen       int     `json:"stolen"`
+	MatchesLocal bool    `json:"matches_local"`
+}
+
+// fleetBench is the BENCH_fleet.json baseline: local-search wall clock
+// against the same search sharded across 1, 2 and 4 in-process
+// workers, with the determinism check (identical best and cost) inline.
+type fleetBench struct {
+	Algo        string            `json:"algo"`
+	Budget      int               `json:"budget"`
+	EvalDelayMs int               `json:"eval_delay_ms"`
+	Space       int               `json:"space"`
+	LocalWallMs float64           `json:"local_wall_ms"`
+	LocalBest   map[string]int    `json:"local_best"`
+	LocalCost   float64           `json:"local_cost"`
+	Points      []fleetBenchPoint `json:"points"`
+}
+
+// startInprocWorker runs a fleet worker inside this process, the way
+// the bench and the tests exercise the wire protocol without spawning
+// child processes.
+func startInprocWorker(pool int) (url string, stop func(), err error) {
+	svc := jobs.New(jobs.Options{Workers: pool, QueueDepth: 64})
+	wk := fleet.NewWorker(svc, workerObjective, "", obs.New())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: wk.Mux()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		hs.Close()
+		svc.Close()
+	}, nil
+}
+
+// cmdFleetbench measures the distributed-tuning baseline behind `make
+// bench-fleet`: one local reference run, then the same search at each
+// requested worker count, asserting the merged best matches the local
+// one. The artificial per-evaluation delay stands in for a real
+// objective's measurement cost; without it the HTTP round-trips would
+// dominate and every fleet point would lose to the local run.
+func cmdFleetbench(ctx context.Context, args []string) error {
+	fs := newFlagSet("fleetbench")
+	var spec tuneSpec
+	fs.StringVar(&spec.Algo, "algo", "linear", "linear | nelder-mead | tabu | random")
+	fs.IntVar(&spec.Budget, "budget", 150, "objective evaluations")
+	fs.IntVar(&spec.EvalDelayMs, "eval-delay", 10, "milliseconds per fresh evaluation (models real measurement cost)")
+	countsFlag := fs.String("counts", "1,2,4", "comma-separated worker counts to benchmark")
+	outPath := fs.String("o", "", "also write the JSON baseline to this file")
+	fs.Parse(args)
+
+	var counts []int
+	for _, s := range strings.Split(*countsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -counts entry %q", s)
+		}
+		counts = append(counts, n)
+	}
+
+	spec = spec.withDefaults()
+	dims, start, _ := spec.evalSpec().workload(ctx)
+	bench := fleetBench{
+		Algo:        spec.Algo,
+		Budget:      spec.Budget,
+		EvalDelayMs: spec.EvalDelayMs,
+		Space:       fleet.SpaceSize(dims, start),
+	}
+
+	t0 := time.Now()
+	local, err := runTune(ctx, spec)
+	if err != nil {
+		return err
+	}
+	bench.LocalWallMs = float64(time.Since(t0).Microseconds()) / 1e3
+	bench.LocalBest, bench.LocalCost = local.Best, local.Cost
+	fmt.Printf("local: best %v, cost %.0f in %.0f ms\n", local.Best, local.Cost, bench.LocalWallMs)
+
+	for _, n := range counts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var stops []func()
+		fspec := spec
+		fspec.Workers = nil
+		for i := 0; i < n; i++ {
+			url, stop, err := startInprocWorker(2)
+			if err != nil {
+				for _, s := range stops {
+					s()
+				}
+				return err
+			}
+			stops = append(stops, stop)
+			fspec.Workers = append(fspec.Workers, url)
+		}
+		t0 := time.Now()
+		out, err := runFleetTune(ctx, fspec)
+		wall := float64(time.Since(t0).Microseconds()) / 1e3
+		for _, stop := range stops {
+			stop()
+		}
+		if err != nil {
+			return fmt.Errorf("fleet run with %d workers: %w", n, err)
+		}
+		p := fleetBenchPoint{
+			Workers:      n,
+			WallMs:       wall,
+			Merged:       out.Fleet.Merged,
+			Duplicates:   out.Fleet.Duplicates,
+			Stolen:       out.Fleet.Stolen,
+			MatchesLocal: reflect.DeepEqual(out.Best, local.Best) && out.Cost == local.Cost,
+		}
+		if wall > 0 {
+			p.Speedup = bench.LocalWallMs / wall
+		}
+		bench.Points = append(bench.Points, p)
+		fmt.Printf("fleet %d worker(s): best %v, cost %.0f in %.0f ms (%.2fx vs local, match=%v)\n",
+			n, out.Best, out.Cost, wall, p.Speedup, p.MatchesLocal)
+		if !p.MatchesLocal {
+			return fmt.Errorf("fleet run with %d workers diverged from the local reference", n)
+		}
+	}
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	return nil
+}

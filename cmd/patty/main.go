@@ -80,6 +80,10 @@ func main() {
 		err = interruptible(cmdFuzz, args)
 	case "serve":
 		err = interruptible(cmdServe, args)
+	case "worker":
+		err = interruptible(cmdWorker, args)
+	case "fleetbench":
+		err = interruptible(cmdFleetbench, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -132,8 +136,11 @@ commands:
   verify    [-corpus name | files...]   run generated parallel unit tests (CHESS-style)
   tune      [-algo linear|nelder-mead|tabu|random] [-budget n]
             [-checkpoint f.ckpt] [-fault-rate p] [-eval-delay ms]
+            [-workers url1,url2,...]
             auto-tuning; with -checkpoint a killed run resumes where it
-            stopped, faulting configs are quarantined by a breaker
+            stopped, faulting configs are quarantined by a breaker;
+            with -workers the search is sharded across patty worker
+            processes and merged to the identical result
   study     [-seed n] [-measured] [-checkpoint f.ckpt]
             regenerate the user-study tables
   eval      [-static]                   corpus precision/recall vs baselines
@@ -148,10 +155,20 @@ commands:
   serve     [-addr host:port] [-workers n] [-queue n] [-job-timeout d]
             [-drain-timeout d] [-checkpoint-dir dir]
             supervised job service over HTTP: submit tune/fuzz/study
-            jobs, admission control with load shedding, graceful drain
+            jobs, admission control with load shedding, graceful drain;
+            a tune job with a "workers" list runs as a fleet search
+  worker    [-addr host:port] [-workers n] [-queue n] [-cache-dir dir]
+            [-drain-timeout d]
+            fleet worker: evaluates tuning shards leased by a
+            coordinator (patty tune -workers ...), caching results
+            per search so a restarted worker answers from its journal
+  fleetbench [-counts 1,2,4] [-eval-delay ms] [-o BENCH_fleet.json]
+            wall-clock baseline of the distributed search vs the local
+            reference, with the determinism check inline
 
-tune, study, eval, fuzz and serve stop cleanly on the first SIGINT or
-SIGTERM (printing partial results); a second signal hard-exits.`)
+tune, study, eval, fuzz, serve and worker stop cleanly on the first
+SIGINT or SIGTERM (printing partial results); a second signal
+hard-exits.`)
 }
 
 // loadSources reads files or a corpus program.

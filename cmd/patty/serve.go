@@ -2,16 +2,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"patty/internal/difftest"
+	"patty/internal/fleet"
 	"patty/internal/jobs"
 	"patty/internal/obs"
 	"patty/internal/report"
@@ -43,6 +44,15 @@ type fuzzJobResult struct {
 type server struct {
 	svc     *jobs.Service
 	ckptDir string
+	// intake is the admission breaker: shed submissions trip it and its
+	// remaining cooldown becomes the 503 Retry-After value, so the
+	// advertised backoff grows while an overload persists.
+	intake *jobs.Breaker
+}
+
+// newServer wires the HTTP surface onto a job service.
+func newServer(svc *jobs.Service, ckptDir string) *server {
+	return &server{svc: svc, ckptDir: ckptDir, intake: jobs.NewBreaker(3, time.Second)}
 }
 
 // runnerFor translates a validated request into the job's Runner.
@@ -56,6 +66,13 @@ func (s *server) runnerFor(req jobRequest) (jobs.Runner, error) {
 		if spec.Checkpoint == "" && s.ckptDir != "" {
 			spec.Checkpoint = filepath.Join(s.ckptDir,
 				fmt.Sprintf("tune-%s-b%d-c%d.ckpt", spec.Algo, spec.Budget, spec.Cores))
+		}
+		if len(spec.Workers) > 0 {
+			// A workers field shards the search across a fleet; the
+			// merged result is identical to the local run's.
+			return func(ctx context.Context) (any, error) {
+				return runFleetTune(ctx, spec)
+			}, nil
 		}
 		return func(ctx context.Context) (any, error) {
 			return runTune(ctx, spec)
@@ -127,24 +144,19 @@ func (s *server) runnerFor(req jobRequest) (jobs.Runner, error) {
 	}
 }
 
-// writeJSON writes v with status code.
+// writeJSON writes v with status code (shared with the fleet intakes).
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	fleet.WriteJSON(w, code, v)
 }
 
 // jsonError is the error envelope of every non-2xx JSON answer.
 func jsonError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	fleet.WriteError(w, code, err)
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, fmt.Errorf("bad job request: %w", err))
+	if !fleet.DecodeJSON(w, r, fleet.MaxBodyBytes, &req) {
 		return
 	}
 	run, err := s.runnerFor(req)
@@ -155,13 +167,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id, err := s.svc.Submit(req.Kind, run)
 	switch {
 	case errors.Is(err, jobs.ErrOverloaded), errors.Is(err, jobs.ErrDraining):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(jobs.ShedRetryAfter(s.intake)))
 		jsonError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
 		jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.intake.Record(jobs.IntakeKey, false)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
 }
 
@@ -242,9 +255,13 @@ func (s *server) mux() *http.ServeMux {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
-		h, _ := obs.AnalyzeService(metrics.Snapshot())
+		snap := metrics.Snapshot()
+		h, _ := obs.AnalyzeService(snap)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, report.ServiceTable(h))
+		if fh, ok := obs.AnalyzeFleet(snap); ok {
+			fmt.Fprint(w, report.FleetTable(fh))
+		}
 	})
 	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, metrics.Snapshot())
@@ -277,7 +294,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		JobTimeout: *jobTimeout,
 		Collector:  metrics,
 	})
-	srv := &server{svc: svc, ckptDir: *ckptDir}
+	srv := newServer(svc, *ckptDir)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -21,7 +21,7 @@ func newTestServer(t *testing.T, opts jobs.Options) (*server, *httptest.Server) 
 		opts.Collector = obs.New()
 	}
 	svc := jobs.New(opts)
-	srv := &server{svc: svc}
+	srv := newServer(svc, "")
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(func() {
 		ts.Close()

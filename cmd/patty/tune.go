@@ -2,14 +2,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"strings"
 	"time"
 
+	"patty/internal/fleet"
 	"patty/internal/jobs"
 	"patty/internal/obs"
 	"patty/internal/perfmodel"
+	"patty/internal/report"
 	"patty/internal/tuning"
 )
 
@@ -36,6 +40,11 @@ type tuneSpec struct {
 	// BreakerThreshold is the consecutive-fault count that quarantines
 	// a configuration (default 3).
 	BreakerThreshold int `json:"breaker_threshold,omitempty"`
+	// Workers, when non-empty, shards the search across these `patty
+	// worker` base URLs instead of evaluating in-process; the merged
+	// result is identical to the local run by construction (see
+	// internal/fleet).
+	Workers []string `json:"workers,omitempty"`
 }
 
 func (s tuneSpec) withDefaults() tuneSpec {
@@ -65,6 +74,9 @@ type tuneOutcome struct {
 	Resumed     int                 `json:"resumed,omitempty"`
 	Quarantined []string            `json:"quarantined,omitempty"`
 	Trace       []tuning.TracePoint `json:"trace,omitempty"`
+	// Fleet carries the distributed-run statistics when the search was
+	// sharded across workers.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
 }
 
 // tuneWorkload is the performance-model workload every tune run
@@ -112,6 +124,55 @@ func tunerFor(algo string) (tuning.Tuner, error) {
 	}
 }
 
+// evalSpec is the slice of a tuneSpec a worker needs to rebuild the
+// objective. It travels as the opaque fleet shard spec: coordinator and
+// `patty worker` agree on it, the fleet package never looks inside.
+type evalSpec struct {
+	Cores       int   `json:"cores"`
+	EvalDelayMs int   `json:"eval_delay_ms,omitempty"`
+	FaultRate   int   `json:"fault_rate,omitempty"`
+	FaultSeed   int64 `json:"fault_seed,omitempty"`
+}
+
+func (s tuneSpec) evalSpec() evalSpec {
+	return evalSpec{Cores: s.Cores, EvalDelayMs: s.EvalDelayMs,
+		FaultRate: s.FaultRate, FaultSeed: s.FaultSeed}
+}
+
+// workload builds the tuning workload with the fault and delay shims
+// applied — the one objective stack local runs, fleet workers, and the
+// replay's table-miss fallback all share, which is what makes a
+// worker-measured cost interchangeable with a local one.
+func (e evalSpec) workload(ctx context.Context) (dims []tuning.Dim, start map[string]int, obj tuning.Objective) {
+	cores := e.Cores
+	if cores <= 0 {
+		cores = 8
+	}
+	dims, start, obj = tuneWorkload(cores)
+	if e.FaultRate > 0 {
+		inner := obj
+		rate, fseed := e.FaultRate, e.FaultSeed
+		obj = func(a map[string]int) float64 {
+			if faultsConfig(a, rate, fseed) {
+				return math.Inf(1)
+			}
+			return inner(a)
+		}
+	}
+	if e.EvalDelayMs > 0 {
+		inner := obj
+		delay := time.Duration(e.EvalDelayMs) * time.Millisecond
+		obj = func(a map[string]int) float64 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+			}
+			return inner(a)
+		}
+	}
+	return dims, start, obj
+}
+
 // faultsConfig decides deterministically whether a configuration
 // faults under (rate, seed): the verdict is a pure function of the
 // canonical assignment key, so a restarted process condemns the exact
@@ -137,29 +198,7 @@ func runTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	dims, start, raw := tuneWorkload(spec.Cores)
-
-	obj := raw
-	if spec.FaultRate > 0 {
-		inner := obj
-		obj = func(a map[string]int) float64 {
-			if faultsConfig(a, spec.FaultRate, spec.FaultSeed) {
-				return math.Inf(1)
-			}
-			return inner(a)
-		}
-	}
-	if spec.EvalDelayMs > 0 {
-		inner := obj
-		delay := time.Duration(spec.EvalDelayMs) * time.Millisecond
-		obj = func(a map[string]int) float64 {
-			select {
-			case <-time.After(delay):
-			case <-ctx.Done():
-			}
-			return inner(a)
-		}
-	}
+	dims, start, obj := spec.evalSpec().workload(ctx)
 
 	// The Observed gets a private collector: its per-evaluation Reset
 	// must not wipe the process-wide jobs.* instruments.
@@ -203,6 +242,54 @@ func runTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
 	return out, nil
 }
 
+// runFleetTune executes one auto-tuning search sharded across `patty
+// worker` processes (internal/fleet): the coordinator leases shards of
+// the enumerated space to the workers, merges the per-configuration
+// costs, and replays the search algorithm locally against the merged
+// table. The outcome matches runTune's for the same spec by
+// construction; the Stats report what the fleet did to get there.
+func runFleetTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
+	spec = spec.withDefaults()
+	tn, err := tunerFor(spec.Algo)
+	if err != nil {
+		return nil, err
+	}
+	es := spec.evalSpec()
+	dims, start, obj := es.workload(ctx)
+	specJSON, err := json.Marshal(es)
+	if err != nil {
+		return nil, err
+	}
+	res, st, err := fleet.Tune(ctx, tn, dims, start, spec.Budget, fleet.Options{
+		Workers:          spec.Workers,
+		Spec:             specJSON,
+		LocalObjective:   obj,
+		Checkpoint:       spec.Checkpoint,
+		Collector:        metrics,
+		BreakerThreshold: spec.BreakerThreshold,
+		Observed:         &tuning.Observed{Collector: obs.New()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &tuneOutcome{
+		Algo:        tn.Name(),
+		Best:        res.Best,
+		Cost:        res.BestCost,
+		Evaluations: res.Evaluations,
+		Interrupted: res.Interrupted,
+		Explored:    st.Merged + st.LocalEvals,
+		Resumed:     st.Resumed,
+		Quarantined: st.Quarantined,
+		Trace:       res.Trace,
+		Fleet:       st,
+	}
+	if res.Err != nil {
+		return out, res.Err
+	}
+	return out, nil
+}
+
 func cmdTune(ctx context.Context, args []string) error {
 	fs := newFlagSet("tune")
 	var spec tuneSpec
@@ -213,9 +300,21 @@ func cmdTune(ctx context.Context, args []string) error {
 	fs.IntVar(&spec.EvalDelayMs, "eval-delay", 0, "milliseconds each fresh evaluation takes (kill-harness pacing)")
 	fs.IntVar(&spec.FaultRate, "fault-rate", 0, "percent of configurations that fault persistently (breaker demo)")
 	fs.Int64Var(&spec.FaultSeed, "fault-seed", 1, "seed selecting which configurations fault")
+	workersFlag := fs.String("workers", "", "comma-separated worker URLs: shard the search across patty worker processes")
 	fs.Parse(args)
+	for _, u := range strings.Split(*workersFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			spec.Workers = append(spec.Workers, u)
+		}
+	}
 
-	out, err := runTune(ctx, spec)
+	var out *tuneOutcome
+	var err error
+	if len(spec.Workers) > 0 {
+		out, err = runFleetTune(ctx, spec)
+	} else {
+		out, err = runTune(ctx, spec)
+	}
 	if err != nil && out == nil {
 		return err
 	}
@@ -225,6 +324,14 @@ func cmdTune(ctx context.Context, args []string) error {
 	} else {
 		fmt.Printf("algorithm %s: best %v, cost %.0f after %d evaluations\n",
 			out.Algo, out.Best, out.Cost, out.Evaluations)
+	}
+	if out.Fleet != nil {
+		st := out.Fleet
+		fmt.Printf("fleet: %d worker(s), %d lost; %d shard(s); merged %d eval(s), %d duplicate, %d stolen, %d redispatched, %d local\n",
+			st.Workers, st.WorkersLost, st.Shards, st.Merged, st.Duplicates, st.Stolen, st.Redispatched, st.LocalEvals)
+		if fh, ok := obs.AnalyzeFleet(metrics.Snapshot()); ok {
+			fmt.Print(report.FleetTable(fh))
+		}
 	}
 	if spec.Checkpoint != "" {
 		fmt.Printf("checkpoint %s: %d configs explored (%d replayed from a previous run)\n",

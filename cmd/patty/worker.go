@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"patty/internal/fleet"
+	"patty/internal/jobs"
+	"patty/internal/tuning"
+)
+
+// workerObjective reconstructs the shard objective from the wire spec —
+// the worker half of the contract whose coordinator half is
+// tuneSpec.evalSpec(). Sharing evalSpec.workload is what makes a cost
+// measured here interchangeable with one measured in the coordinator's
+// process.
+func workerObjective(spec json.RawMessage) (tuning.Objective, error) {
+	var es evalSpec
+	if len(spec) > 0 {
+		if err := json.Unmarshal(spec, &es); err != nil {
+			return nil, fmt.Errorf("bad eval spec: %w", err)
+		}
+	}
+	_, _, obj := es.workload(context.Background())
+	return obj, nil
+}
+
+// cmdWorker runs one fleet worker: a hardened HTTP intake that admits
+// POST /shards through the same supervised jobs.Service `patty serve`
+// uses, evaluates each leased shard, and journals results per search so
+// a restarted worker answers repeated configurations from its cache.
+// It drains like serve: the first SIGINT/SIGTERM stops admission and
+// lets in-flight shards finish, a second one hard-exits.
+func cmdWorker(ctx context.Context, args []string) error {
+	fs := newFlagSet("worker")
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	workers := fs.Int("workers", 2, "evaluation-pool size")
+	queue := fs.Int("queue", 16, "admission-queue bound; a full queue sheds shards with 503")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "hard deadline for the shutdown drain")
+	cacheDir := fs.String("cache-dir", "", "directory for per-search evaluation journals (crash-restart cache)")
+	fs.Parse(args)
+
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			return err
+		}
+	}
+	svc := jobs.New(jobs.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Collector:  metrics,
+	})
+	wk := fleet.NewWorker(svc, workerObjective, *cacheDir, metrics)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Parseable by harnesses: the one line on stdout before serving.
+	fmt.Printf("patty worker: listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: wk.Mux()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Printf("patty worker: drain deadline hit, canceled remaining shards\n")
+	} else {
+		fmt.Printf("patty worker: drained cleanly\n")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+	defer scancel()
+	hs.Shutdown(sctx)
+	return nil
+}

@@ -1,0 +1,530 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"patty/internal/jobs"
+	"patty/internal/obs"
+	"patty/internal/tuning"
+)
+
+// Options configures a distributed search.
+type Options struct {
+	// Workers are the base URLs of `patty worker` processes
+	// ("http://host:port"). At least one is required.
+	Workers []string
+	// Spec is the opaque objective specification shipped with every
+	// shard; the worker's NewObjective hook interprets it.
+	Spec json.RawMessage
+	// LocalObjective evaluates a configuration in-process. Required: it
+	// is the replay's fallback for table misses, keeping the distributed
+	// result identical even for configurations no shard covered.
+	LocalObjective tuning.Objective
+	// Checkpoint, when non-empty, journals merged evaluations to this
+	// path in the `patty tune -checkpoint` format: a crashed coordinator
+	// resumes from it, and so does a plain local search.
+	Checkpoint string
+	// Collector receives the fleet.* metrics (nil: discarded).
+	Collector *obs.Collector
+
+	// BreakerThreshold is the replay's config-quarantine threshold
+	// (default 3), matching the local runTune breaker.
+	BreakerThreshold int
+	// Observed, when set, mediates the replay's fault attribution the
+	// way the local tune path does: only panics and fault-policy
+	// analyses count as faults, not a bare +Inf cost. Nil keeps the
+	// stricter default where any Inf/NaN cost trips the breaker.
+	Observed *tuning.Observed
+	// ShardSize caps configurations per shard. Default: the space split
+	// four ways per worker, so stealing has slack to work with.
+	ShardSize int
+	// LeaseTTL bounds one shard dispatch: when it elapses the in-flight
+	// HTTP request is canceled and the shard is re-dispatched
+	// (default 30s).
+	LeaseTTL time.Duration
+	// StealAfter is the in-flight age past which an idle worker may
+	// speculatively duplicate-dispatch a shard (default LeaseTTL/4).
+	StealAfter time.Duration
+	// MaxSpace refuses to enumerate spaces larger than this many
+	// configurations (default 65536).
+	MaxSpace int
+	// WorkerFailLimit benches a worker permanently after this many
+	// consecutive dispatch failures (default 3).
+	WorkerFailLimit int
+	// Client is the HTTP client for shard dispatch (default
+	// http.DefaultClient).
+	Client *http.Client
+}
+
+func (o Options) withDefaults(space int) Options {
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.ShardSize <= 0 {
+		per := space / (4 * max(len(o.Workers), 1))
+		o.ShardSize = max(per, 1)
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.StealAfter <= 0 {
+		o.StealAfter = o.LeaseTTL / 4
+	}
+	if o.MaxSpace <= 0 {
+		o.MaxSpace = 1 << 16
+	}
+	if o.WorkerFailLimit <= 0 {
+		o.WorkerFailLimit = 3
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// Stats summarizes what the fleet did to produce a Result — the
+// distributed layer's side channel, since the Result itself is
+// indistinguishable from a local run's by design.
+type Stats struct {
+	Workers      int      // workers the search started with
+	WorkersLost  int      // workers benched after repeated failures
+	Shards       int      // shards the space was partitioned into
+	Merged       int      // distinct evaluations merged into the table
+	Duplicates   int      // worker evaluations discarded as duplicates
+	Redispatched int      // lease expiries / failures re-queued
+	Stolen       int      // speculative duplicate dispatches
+	LocalEvals   int      // replay table misses evaluated locally
+	Resumed      int      // evaluations re-adopted from the checkpoint
+	Quarantined  []string // configs the replay breaker quarantined
+}
+
+// scheduler is the coordinator's shared shard state. All fields are
+// guarded by mu; cond wakes workers blocked in next.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	shards  []Shard
+	pending []int            // shard ids awaiting (re-)dispatch
+	lease   map[int]*leaseIn // shard id -> in-flight state
+	done    map[int]bool
+	nDone   int
+
+	table map[string]tuning.EvalRecord // merged costs by assignment key
+	ck    *tuning.Checkpointer         // nil when checkpointing is off
+
+	stats Stats
+	inst  fleetInstruments
+
+	now func() time.Time
+}
+
+type leaseIn struct {
+	holders int
+	since   time.Time
+}
+
+type fleetInstruments struct {
+	shardsDone   *obs.Counter
+	redispatched *obs.Counter
+	stolen       *obs.Counter
+	merged       *obs.Counter
+	duplicate    *obs.Counter
+	local        *obs.Counter
+	resumed      *obs.Counter
+	lost         *obs.Counter
+	rtt          *obs.Histogram
+}
+
+func newInstruments(c *obs.Collector) fleetInstruments {
+	return fleetInstruments{
+		shardsDone:   c.Counter("fleet.shards.done"),
+		redispatched: c.Counter("fleet.shards.redispatched"),
+		stolen:       c.Counter("fleet.shards.stolen"),
+		merged:       c.Counter("fleet.evals.merged"),
+		duplicate:    c.Counter("fleet.evals.duplicate"),
+		local:        c.Counter("fleet.evals.local"),
+		resumed:      c.Counter("fleet.evals.resumed"),
+		lost:         c.Counter("fleet.workers.lost"),
+		rtt:          c.Histogram("fleet.shard.rtt_ns"),
+	}
+}
+
+// next blocks until a shard is available for this worker and leases it.
+// Pending shards are served first; with none pending it steals the
+// oldest in-flight shard that has been out longer than stealAfter and
+// has fewer than two holders. Returns ok=false when every shard is done
+// or ctx is canceled.
+func (s *scheduler) next(ctx context.Context, stealAfter time.Duration) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if ctx.Err() != nil || s.nDone == len(s.shards) {
+			return 0, false
+		}
+		if len(s.pending) > 0 {
+			id := s.pending[0]
+			s.pending = s.pending[1:]
+			l := s.lease[id]
+			if l == nil {
+				l = &leaseIn{since: s.now()}
+				s.lease[id] = l
+			}
+			l.holders++
+			return id, true
+		}
+		// Steal: oldest in-flight shard past the speculation age.
+		best, bestAge := -1, stealAfter
+		for id, l := range s.lease {
+			if s.done[id] || l.holders == 0 || l.holders >= 2 {
+				continue
+			}
+			if age := s.now().Sub(l.since); age >= bestAge {
+				best, bestAge = id, age
+			}
+		}
+		if best >= 0 {
+			s.lease[best].holders++
+			s.stats.Stolen++
+			s.inst.stolen.Inc()
+			return best, true
+		}
+		// Nothing to do yet. If an in-flight shard will become
+		// steal-eligible, wake up in time to take it.
+		var wake *time.Timer
+		wakeIn := time.Duration(-1)
+		for id, l := range s.lease {
+			if s.done[id] || l.holders == 0 || l.holders >= 2 {
+				continue
+			}
+			d := max(stealAfter-s.now().Sub(l.since), time.Millisecond)
+			if wakeIn < 0 || d < wakeIn {
+				wakeIn = d
+			}
+		}
+		if wakeIn >= 0 {
+			wake = time.AfterFunc(wakeIn, s.cond.Broadcast)
+		}
+		s.cond.Wait()
+		if wake != nil {
+			wake.Stop()
+		}
+	}
+}
+
+// release returns a failed lease. When the last holder gives up and the
+// shard is not done it is re-queued at the front; redispatch counts the
+// re-queue only for genuine failures (counted=true), not 503 busy
+// answers.
+func (s *scheduler) release(id int, counted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lease[id]
+	if l == nil {
+		return
+	}
+	l.holders--
+	if l.holders <= 0 && !s.done[id] {
+		delete(s.lease, id)
+		s.pending = append([]int{id}, s.pending...)
+		if counted {
+			s.stats.Redispatched++
+			s.inst.redispatched.Inc()
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// complete merges one shard response. First completion wins; a late
+// duplicate (steal loser, or a re-dispatched shard whose original
+// eventually answered) contributes nothing and is counted as such.
+// Evaluations are deduplicated by canonical assignment key across the
+// whole search, and journaled through the checkpointer (one Flush per
+// merged shard bounds the re-evaluation window after a coordinator
+// crash).
+func (s *scheduler) complete(id int, evals []tuning.EvalRecord, rtt time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inst.rtt.Record(int64(rtt))
+	if l := s.lease[id]; l != nil {
+		l.holders--
+	}
+	fresh := 0
+	for _, rec := range evals {
+		key := tuning.AssignKey(rec.Assignment)
+		if _, ok := s.table[key]; ok {
+			s.stats.Duplicates++
+			s.inst.duplicate.Inc()
+			continue
+		}
+		s.table[key] = rec
+		s.stats.Merged++
+		s.inst.merged.Inc()
+		fresh++
+		if s.ck != nil {
+			s.ck.Record(rec.Assignment, rec.EffectiveCost())
+		}
+	}
+	if !s.done[id] {
+		s.done[id] = true
+		s.nDone++
+		delete(s.lease, id)
+		s.inst.shardsDone.Inc()
+		if s.ck != nil && fresh > 0 {
+			s.ck.Flush() // best effort; the final Flush reports errors
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// benched records a permanently lost worker.
+func (s *scheduler) benched() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.WorkersLost++
+	s.inst.lost.Inc()
+	s.cond.Broadcast()
+}
+
+// busyError is a worker's 503: back off, don't bench.
+type busyError struct{ after time.Duration }
+
+func (e busyError) Error() string { return fmt.Sprintf("worker busy, retry after %s", e.after) }
+
+// dispatch sends one shard to one worker and decodes the answer. The
+// request context carries the lease TTL: a hung worker is abandoned
+// when it expires and the shard is re-queued by the caller.
+func dispatch(ctx context.Context, client *http.Client, worker string, req ShardRequest, ttl time.Duration) (*ShardResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	lctx, cancel := context.WithTimeout(ctx, ttl)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(lctx, http.MethodPost, worker+"/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		after := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil, busyError{after: after}
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("worker %s: %s: %s", worker, resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, MaxBodyBytes)).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("worker %s: bad shard response: %w", worker, err)
+	}
+	if len(sr.Evals) != len(req.Configs) {
+		return nil, fmt.Errorf("worker %s: shard %d: %d evals for %d configs",
+			worker, req.Shard, len(sr.Evals), len(req.Configs))
+	}
+	return &sr, nil
+}
+
+// Tune runs the distributed search: enumerate, partition, lease shards
+// to workers, merge, then replay tn locally against the merged cost
+// table. The returned Result is identical to an uninterrupted local
+// tn.TuneCtx run with the same inputs (see the package comment for the
+// argument); Stats reports what the fleet did along the way.
+func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[string]int, budget int, opts Options) (tuning.Result, *Stats, error) {
+	if len(opts.Workers) == 0 {
+		return tuning.Result{}, nil, errors.New("fleet: no workers")
+	}
+	if opts.LocalObjective == nil {
+		return tuning.Result{}, nil, errors.New("fleet: LocalObjective is required")
+	}
+	space := SpaceSize(dims, start)
+	opts = opts.withDefaults(space)
+	if space > opts.MaxSpace {
+		return tuning.Result{}, nil, fmt.Errorf("fleet: search space has %d configurations, above the %d cap; tune locally or raise MaxSpace", space, opts.MaxSpace)
+	}
+
+	meta := tuning.SearchMeta{Algo: tn.Name(), Budget: budget, Dims: dims, Start: start}
+	sched := &scheduler{
+		lease: make(map[int]*leaseIn),
+		done:  make(map[int]bool),
+		table: make(map[string]tuning.EvalRecord),
+		inst:  newInstruments(opts.Collector),
+		now:   time.Now,
+	}
+	sched.cond = sync.NewCond(&sched.mu)
+
+	// Resume: re-adopt the merged prefix and the quarantine set from the
+	// journal; only the remainder of the space is sharded out.
+	exclude := make(map[string]bool)
+	if opts.Checkpoint != "" {
+		ck, resumed, err := tuning.NewCheckpointer(opts.Checkpoint, meta)
+		if err != nil {
+			return tuning.Result{}, nil, err
+		}
+		sched.ck = ck
+		sched.stats.Resumed = resumed
+		for _, rec := range ck.Records() {
+			key := tuning.AssignKey(rec.Assignment)
+			sched.table[key] = rec
+			exclude[key] = true
+			sched.inst.resumed.Inc()
+		}
+		for _, key := range ck.Quarantined() {
+			exclude[key] = true
+		}
+	}
+
+	sched.shards = Partition(Enumerate(dims, start), opts.ShardSize, exclude)
+	for i := range sched.shards {
+		sched.pending = append(sched.pending, i)
+	}
+	sched.stats.Workers = len(opts.Workers)
+	sched.stats.Shards = len(sched.shards)
+	opts.Collector.Gauge("fleet.workers").Set(int64(len(opts.Workers)))
+	opts.Collector.Gauge("fleet.shards.total").Set(int64(len(sched.shards)))
+
+	// Dispatch loop: one goroutine per worker; a canceled ctx or the
+	// last merged shard drains them all.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watch := make(chan struct{})
+	go func() { // wake cond waiters on cancellation
+		defer close(watch)
+		<-fctx.Done()
+		sched.cond.Broadcast()
+	}()
+
+	var wg sync.WaitGroup
+	for _, worker := range opts.Workers {
+		wg.Add(1)
+		go func(worker string) {
+			defer wg.Done()
+			consecFail := 0
+			backoff := 50 * time.Millisecond
+			for {
+				id, ok := sched.next(fctx, opts.StealAfter)
+				if !ok {
+					return
+				}
+				req := ShardRequest{
+					Search:  meta.Signature(),
+					Shard:   id,
+					Spec:    opts.Spec,
+					Configs: sched.shards[id].Configs,
+				}
+				t0 := time.Now()
+				resp, err := dispatch(fctx, opts.Client, worker, req, opts.LeaseTTL)
+				var busy busyError
+				switch {
+				case err == nil:
+					consecFail = 0
+					backoff = 50 * time.Millisecond
+					sched.complete(id, resp.Evals, time.Since(t0))
+				case errors.As(err, &busy):
+					// Overloaded, not broken: hand the shard back and
+					// honor the advertised backoff (capped).
+					sched.release(id, false)
+					sleepCtx(fctx, min(busy.after, 2*time.Second))
+				default:
+					sched.release(id, true)
+					consecFail++
+					if consecFail >= opts.WorkerFailLimit {
+						sched.benched()
+						return
+					}
+					sleepCtx(fctx, backoff)
+					backoff = min(backoff*2, time.Second)
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	cancel()
+	<-watch
+
+	sched.mu.Lock()
+	unfinished := len(sched.shards) - sched.nDone
+	sched.mu.Unlock()
+	if unfinished > 0 && ctx.Err() == nil {
+		// Every worker was benched with shards outstanding. The merged
+		// prefix is journaled; a re-run (fleet or local) resumes it.
+		if sched.ck != nil {
+			sched.ck.Flush()
+		}
+		st := sched.stats
+		return tuning.Result{}, &st, fmt.Errorf("fleet: all %d workers lost with %d of %d shards unfinished",
+			len(opts.Workers), unfinished, len(sched.shards))
+	}
+
+	// Replay: run the actual search algorithm locally against the merged
+	// table. The breaker mirrors the local runTune quarantine semantics;
+	// a table miss (exotic tuner step outside the enumerated superset)
+	// falls back to one local evaluation, which objective purity keeps
+	// identical to what a worker would have measured.
+	br := jobs.NewBreaker(opts.BreakerThreshold, 30*time.Second).Instrument(opts.Collector)
+	if sched.ck != nil {
+		br.Restore(sched.ck.Quarantined())
+	}
+	tableObj := func(a map[string]int) float64 {
+		key := tuning.AssignKey(a)
+		if rec, ok := sched.table[key]; ok {
+			return rec.EffectiveCost()
+		}
+		cost := opts.LocalObjective(a)
+		sched.stats.LocalEvals++
+		sched.inst.local.Inc()
+		rec := tuning.EvalRecord{Assignment: copyAssign(a), Cost: cost}
+		sched.table[key] = rec
+		if sched.ck != nil {
+			sched.ck.Record(a, cost)
+		}
+		return cost
+	}
+	guarded := tableObj
+	if opts.Observed != nil {
+		guarded = opts.Observed.Wrap(guarded)
+	}
+	res := tn.TuneCtx(ctx, dims, start, jobs.GuardObjective(br, opts.Observed, guarded), budget)
+
+	sched.stats.Quarantined = br.Quarantined()
+	if sched.ck != nil {
+		sched.ck.Quarantine = br.Quarantined
+		if err := sched.ck.Flush(); err != nil {
+			st := sched.stats
+			return res, &st, fmt.Errorf("fleet: checkpoint not durable: %w", err)
+		}
+	}
+	st := sched.stats
+	return res, &st, nil
+}
+
+// sleepCtx sleeps d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

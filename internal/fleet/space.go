@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"sort"
+
+	"patty/internal/tuning"
+)
+
+// dimValues returns every value of one dimension any stock tuner can
+// visit, sorted ascending:
+//
+//   - the Min-anchored lattice Min, Min+step, ... (LinearSearch sweeps
+//     it, RandomSearch samples it, NelderMead rounds onto it),
+//   - the start-anchored lattice start±k·step (TabuSearch walks it,
+//     and LinearSearch keeps the start value of dimensions it has not
+//     improved yet),
+//   - Min and Max themselves (clampDim lands exactly there).
+//
+// The union is a superset of the reachable set, which is what makes
+// the replay's cost table complete for the stock tuners (fleet.go has
+// the argument; a miss still falls back to one local evaluation).
+func dimValues(d tuning.Dim, start int) []int {
+	step := d.Step
+	if step <= 0 {
+		step = 1
+	}
+	set := map[int]bool{d.Min: true, d.Max: true}
+	for v := d.Min; v <= d.Max; v += step {
+		set[v] = true
+	}
+	if start >= d.Min && start <= d.Max {
+		for v := start; v <= d.Max; v += step {
+			set[v] = true
+		}
+		for v := start; v >= d.Min; v -= step {
+			set[v] = true
+		}
+	}
+	vals := make([]int, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// SpaceSize returns the number of configurations Enumerate would
+// produce, without materializing them — the coordinator's guard
+// against unboundedly large grids.
+func SpaceSize(dims []tuning.Dim, start map[string]int) int {
+	n := 1
+	for _, d := range dims {
+		n *= len(dimValues(d, start[d.Key]))
+	}
+	return n
+}
+
+// Enumerate materializes the search space: the cross product of every
+// dimension's reachable values, in deterministic order (dimensions
+// sorted by key, row-major, last dimension fastest). Keys of start not
+// named by any dimension are carried into every assignment unchanged,
+// exactly as the tuners carry them.
+func Enumerate(dims []tuning.Dim, start map[string]int) []map[string]int {
+	ds := append([]tuning.Dim(nil), dims...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })
+	vals := make([][]int, len(ds))
+	total := 1
+	for i, d := range ds {
+		vals[i] = dimValues(d, start[d.Key])
+		total *= len(vals[i])
+	}
+	out := make([]map[string]int, 0, total)
+	idx := make([]int, len(ds))
+	for {
+		a := copyAssign(start)
+		for i, d := range ds {
+			a[d.Key] = vals[i][idx[i]]
+		}
+		out = append(out, a)
+		i := len(ds) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(vals[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Shard is one leasable unit of the configuration space.
+type Shard struct {
+	ID      int
+	Configs []map[string]int
+}
+
+// Partition splits configurations into shards of at most size configs,
+// skipping assignments whose canonical key is in exclude (already
+// merged from a checkpoint, or quarantined by a previous run's
+// breaker). Exclusion happens before slicing, so a quarantine set
+// spanning what would have been a shard boundary simply shifts the
+// boundaries — no shard ever carries an excluded configuration, and
+// the shard list stays dense. A config list smaller than the worker
+// count yields fewer shards than workers; the extra workers steal or
+// idle.
+func Partition(configs []map[string]int, size int, exclude map[string]bool) []Shard {
+	if size <= 0 {
+		size = 1
+	}
+	var shards []Shard
+	var cur []map[string]int
+	for _, a := range configs {
+		if exclude[tuning.AssignKey(a)] {
+			continue
+		}
+		cur = append(cur, a)
+		if len(cur) == size {
+			shards = append(shards, Shard{ID: len(shards), Configs: cur})
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		shards = append(shards, Shard{ID: len(shards), Configs: cur})
+	}
+	return shards
+}

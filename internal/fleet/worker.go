@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"math"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"patty/internal/checkpoint"
+	"patty/internal/jobs"
+	"patty/internal/obs"
+	"patty/internal/report"
+	"patty/internal/tuning"
+)
+
+// WorkerCacheKind tags a worker's per-search evaluation journal in the
+// checkpoint envelope.
+const WorkerCacheKind = "fleet-worker-cache"
+
+// Worker serves shard evaluations: the `patty worker` process body.
+// Every shard request is admitted through a jobs.Service (bounded
+// queue, load shedding, supervised pool), evaluated configuration by
+// configuration, and — when CacheDir is set — journaled per search so
+// a worker restarted after a crash replays already-measured costs
+// instead of re-running them.
+type Worker struct {
+	svc          *jobs.Service
+	newObjective func(spec json.RawMessage) (tuning.Objective, error)
+	cacheDir     string
+	maxBody      int64
+
+	// intake is the admission breaker: sheds trip it and its remaining
+	// cooldown becomes the 503 Retry-After value.
+	intake *jobs.Breaker
+
+	mu     sync.Mutex
+	caches map[string]*workerCache
+
+	shards    *obs.Counter
+	evals     *obs.Counter
+	cacheHits *obs.Counter
+	statusz   func() obs.Snapshot
+}
+
+// NewWorker wires a Worker onto an admission service. newObjective
+// reconstructs the objective from the opaque per-shard spec; cacheDir
+// "" disables the evaluation journal; c receives the fleet.worker.*
+// metrics (nil: discarded).
+func NewWorker(svc *jobs.Service, newObjective func(json.RawMessage) (tuning.Objective, error), cacheDir string, c *obs.Collector) *Worker {
+	return &Worker{
+		svc:          svc,
+		newObjective: newObjective,
+		cacheDir:     cacheDir,
+		maxBody:      MaxBodyBytes,
+		intake:       jobs.NewBreaker(3, time.Second),
+		caches:       make(map[string]*workerCache),
+		shards:       c.Counter("fleet.worker.shards"),
+		evals:        c.Counter("fleet.worker.evals"),
+		cacheHits:    c.Counter("fleet.worker.cache_hits"),
+		statusz:      c.Snapshot,
+	}
+}
+
+// workerCache is one search's journaled evaluations.
+type workerCache struct {
+	mu    sync.Mutex
+	path  string // "" when journaling is disabled
+	state workerCacheState
+	byKey map[string]tuning.EvalRecord
+	// saveFailed latches after the first failed write: the journal is
+	// an optimization (the coordinator owns durability), so a broken
+	// disk degrades to re-evaluation instead of failing shards.
+	saveFailed bool
+}
+
+type workerCacheState struct {
+	Search string              `json:"search"`
+	Evals  []tuning.EvalRecord `json:"evals"`
+}
+
+// cacheFor loads (or creates) the journal for one search signature.
+func (wk *Worker) cacheFor(search string) *workerCache {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	if c, ok := wk.caches[search]; ok {
+		return c
+	}
+	c := &workerCache{byKey: make(map[string]tuning.EvalRecord)}
+	c.state.Search = search
+	if wk.cacheDir != "" {
+		h := fnv.New64a()
+		h.Write([]byte(search))
+		c.path = filepath.Join(wk.cacheDir, fmt.Sprintf("fleet-worker-%016x.ckpt", h.Sum64()))
+		err := checkpoint.Load(c.path, WorkerCacheKind, &c.state)
+		switch {
+		case err == nil && c.state.Search == search:
+			for _, rec := range c.state.Evals {
+				c.byKey[tuning.AssignKey(rec.Assignment)] = rec
+			}
+		case err == nil || errors.Is(err, fs.ErrNotExist):
+			// Hash collision with another search, or a fresh journal:
+			// start empty.
+			c.state = workerCacheState{Search: search}
+		default:
+			// Corrupt journal: start over; the next save rewrites it.
+			c.state = workerCacheState{Search: search}
+		}
+	}
+	wk.caches[search] = c
+	return c
+}
+
+func (c *workerCache) get(key string) (tuning.EvalRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.byKey[key]
+	return rec, ok
+}
+
+func (c *workerCache) put(key string, rec tuning.EvalRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return
+	}
+	c.byKey[key] = rec
+	c.state.Evals = append(c.state.Evals, rec)
+	if c.path != "" && !c.saveFailed {
+		if err := checkpoint.Save(c.path, WorkerCacheKind, &c.state); err != nil {
+			c.saveFailed = true
+		}
+	}
+}
+
+// evaluate runs one shard, honoring cancellation between
+// configurations.
+func (wk *Worker) evaluate(ctx context.Context, req ShardRequest) (*ShardResponse, error) {
+	obj, err := wk.newObjective(req.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("bad shard spec: %w", err)
+	}
+	cache := wk.cacheFor(req.Search)
+	resp := &ShardResponse{Shard: req.Shard, Evals: make([]tuning.EvalRecord, 0, len(req.Configs))}
+	for _, a := range req.Configs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		key := tuning.AssignKey(a)
+		if rec, ok := cache.get(key); ok {
+			wk.cacheHits.Inc()
+			resp.Evals = append(resp.Evals, rec)
+			continue
+		}
+		cost := obj(a)
+		rec := tuning.EvalRecord{Assignment: copyAssign(a), Cost: cost}
+		if math.IsInf(cost, 1) || math.IsNaN(cost) || math.IsInf(cost, -1) {
+			rec.Cost, rec.Faulted = 0, true
+		}
+		cache.put(key, rec)
+		wk.evals.Inc()
+		resp.Evals = append(resp.Evals, rec)
+	}
+	wk.shards.Inc()
+	return resp, nil
+}
+
+// handleShard is POST /shards: hardened intake, admission through the
+// jobs service, synchronous answer. A shed submission answers 503 with
+// the intake breaker's remaining cooldown as Retry-After.
+func (wk *Worker) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if !DecodeJSON(w, r, wk.maxBody, &req) {
+		return
+	}
+	if len(req.Configs) == 0 {
+		WriteError(w, http.StatusBadRequest, errors.New("shard carries no configurations"))
+		return
+	}
+	id, err := wk.svc.Submit("shard", func(ctx context.Context) (any, error) {
+		return wk.evaluate(ctx, req)
+	})
+	if errors.Is(err, jobs.ErrOverloaded) || errors.Is(err, jobs.ErrDraining) {
+		w.Header().Set("Retry-After", fmt.Sprint(jobs.ShedRetryAfter(wk.intake)))
+		WriteError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err != nil {
+		WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	wk.intake.Record(jobs.IntakeKey, false)
+	if _, err := wk.svc.Wait(r.Context(), id); err != nil {
+		// The coordinator went away; stop burning the evaluation.
+		wk.svc.Cancel(id)
+		WriteError(w, http.StatusRequestTimeout, err)
+		return
+	}
+	res, info, err := wk.svc.Result(id)
+	if err != nil {
+		WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if info.Status != jobs.StatusDone {
+		WriteError(w, http.StatusInternalServerError,
+			fmt.Errorf("shard job %s: %s", info.Status, info.Error))
+		return
+	}
+	WriteJSON(w, http.StatusOK, res)
+}
+
+// Mux returns the worker's HTTP surface: POST /shards plus the same
+// health/status endpoints `patty serve` exposes.
+func (wk *Worker) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /shards", wk.handleShard)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if wk.svc.Draining() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		snap := wk.statusz()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h, ok := obs.AnalyzeService(snap); ok {
+			fmt.Fprint(w, report.ServiceTable(h))
+		}
+		if fh, ok := obs.AnalyzeFleet(snap); ok {
+			fmt.Fprint(w, report.FleetTable(fh))
+		}
+	})
+	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, wk.statusz())
+	})
+	return mux
+}

@@ -169,6 +169,42 @@ func (b *Breaker) updateOpenGauge() {
 	b.openGauge.Set(n)
 }
 
+// RetryAfter returns the remaining Open-state cooldown for key, or 0
+// when the key is not Open (or its cooldown already elapsed). HTTP
+// intakes use it to answer 503 with an honest Retry-After instead of a
+// constant.
+func (b *Breaker) RetryAfter(key string) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || e.state != Open {
+		return 0
+	}
+	if d := e.openUntil.Sub(b.now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// IntakeKey is the breaker key HTTP intakes use for admission events.
+const IntakeKey = "intake"
+
+// ShedRetryAfter drives an intake breaker through one shed admission
+// and returns the advisory Retry-After in whole seconds: the breaker's
+// remaining cooldown, floored at one second. Repeated shed storms trip
+// the breaker and double the cooldown through its half-open probes, so
+// the advertised backoff grows while the overload persists; the first
+// accepted submission (Record(IntakeKey, false)) resets it.
+func ShedRetryAfter(b *Breaker) int {
+	b.Allow(IntakeKey) // advance Open -> HalfOpen when the cooldown elapsed
+	b.Record(IntakeKey, true)
+	secs := int(math.Ceil(b.RetryAfter(IntakeKey).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // State returns the current state of key (Closed for unknown keys).
 func (b *Breaker) State(key string) BreakerState {
 	b.mu.Lock()

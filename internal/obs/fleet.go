@@ -1,0 +1,108 @@
+package obs
+
+// Fleet-layer metric key grammar, published by internal/fleet:
+//
+// Coordinator side:
+//
+//	fleet.workers              gauge    (workers the search started with)
+//	fleet.workers.lost         counter  (workers benched after repeated failures)
+//	fleet.shards.total         gauge    (shards the space was partitioned into)
+//	fleet.shards.done          counter  (shards merged)
+//	fleet.shards.redispatched  counter  (lease expiries / transport errors re-queued)
+//	fleet.shards.stolen        counter  (speculative duplicate dispatches)
+//	fleet.evals.merged         counter  (distinct evaluations merged into the table)
+//	fleet.evals.duplicate      counter  (evaluations discarded as duplicates)
+//	fleet.evals.local          counter  (replay table misses evaluated locally)
+//	fleet.evals.resumed        counter  (evaluations re-adopted from a checkpoint)
+//	fleet.shard.rtt_ns         histogram (dispatch -> merged, per shard attempt)
+//
+// Worker side:
+//
+//	fleet.worker.shards        counter  (shards evaluated to completion)
+//	fleet.worker.evals         counter  (configurations actually measured)
+//	fleet.worker.cache_hits    counter  (configurations answered from the journal)
+//
+// Like the jobs.* keys, these live beside the pattern keys in one
+// Collector; Analyze skips them and AnalyzeFleet digests them.
+
+// FleetHealth is the digest of the fleet.* keys in a Snapshot, feeding
+// report.FleetTable and the /statusz pages of coordinator and worker.
+type FleetHealth struct {
+	Workers     int64 `json:"workers"`
+	WorkersLost int64 `json:"workers_lost"`
+
+	ShardsTotal        int64 `json:"shards_total"`
+	ShardsDone         int64 `json:"shards_done"`
+	ShardsRedispatched int64 `json:"shards_redispatched"`
+	ShardsStolen       int64 `json:"shards_stolen"`
+
+	EvalsMerged    int64 `json:"evals_merged"`
+	EvalsDuplicate int64 `json:"evals_duplicate"`
+	EvalsLocal     int64 `json:"evals_local"`
+	EvalsResumed   int64 `json:"evals_resumed"`
+
+	ShardRTT HistSnapshot `json:"shard_rtt_ns"`
+
+	WorkerShards    int64 `json:"worker_shards"`
+	WorkerEvals     int64 `json:"worker_evals"`
+	WorkerCacheHits int64 `json:"worker_cache_hits"`
+}
+
+// AnalyzeFleet extracts the fleet digest from a snapshot. ok is false
+// when the snapshot holds no fleet.* signal at all (the collector never
+// saw distributed work, coordinator- or worker-side).
+func AnalyzeFleet(s Snapshot) (h FleetHealth, ok bool) {
+	h = FleetHealth{
+		Workers:            s.Gauges["fleet.workers"],
+		WorkersLost:        s.Counters["fleet.workers.lost"],
+		ShardsTotal:        s.Gauges["fleet.shards.total"],
+		ShardsDone:         s.Counters["fleet.shards.done"],
+		ShardsRedispatched: s.Counters["fleet.shards.redispatched"],
+		ShardsStolen:       s.Counters["fleet.shards.stolen"],
+		EvalsMerged:        s.Counters["fleet.evals.merged"],
+		EvalsDuplicate:     s.Counters["fleet.evals.duplicate"],
+		EvalsLocal:         s.Counters["fleet.evals.local"],
+		EvalsResumed:       s.Counters["fleet.evals.resumed"],
+		ShardRTT:           s.Histograms["fleet.shard.rtt_ns"],
+		WorkerShards:       s.Counters["fleet.worker.shards"],
+		WorkerEvals:        s.Counters["fleet.worker.evals"],
+		WorkerCacheHits:    s.Counters["fleet.worker.cache_hits"],
+	}
+	ok = h.Workers > 0 || h.ShardsTotal > 0 || h.WorkerShards > 0 ||
+		h.WorkerEvals > 0 || h.WorkerCacheHits > 0
+	return h, ok
+}
+
+// Coordinator reports whether the digest carries coordinator-side
+// signal (as opposed to a worker process's own counters).
+func (h FleetHealth) Coordinator() bool { return h.Workers > 0 || h.ShardsTotal > 0 }
+
+// Progress is the fraction of shards merged, in [0,1] (0 when the
+// total is unknown).
+func (h FleetHealth) Progress() float64 {
+	if h.ShardsTotal <= 0 {
+		return 0
+	}
+	p := float64(h.ShardsDone) / float64(h.ShardsTotal)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// DuplicateRate is the fraction of worker-produced evaluations
+// discarded as duplicates of already-merged ones — the overhead price
+// of stealing and re-dispatch.
+func (h FleetHealth) DuplicateRate() float64 {
+	total := h.EvalsMerged + h.EvalsDuplicate
+	if total == 0 {
+		return 0
+	}
+	return float64(h.EvalsDuplicate) / float64(total)
+}
+
+// Degraded reports whether the fleet showed distress: lost workers,
+// re-dispatched leases, or replay misses evaluated locally.
+func (h FleetHealth) Degraded() bool {
+	return h.WorkersLost > 0 || h.ShardsRedispatched > 0 || h.EvalsLocal > 0
+}

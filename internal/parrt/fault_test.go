@@ -4,37 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"patty/internal/ptest"
 )
 
-// leakCheck snapshots the goroutine count and returns a func that
-// fails the test if the count has not returned to the baseline within
-// a polling deadline — goleak-style accounting without the dependency.
-func leakCheck(t *testing.T) func() {
-	t.Helper()
-	before := runtime.NumGoroutine()
-	return func() {
-		t.Helper()
-		deadline := time.Now().Add(3 * time.Second)
-		for {
-			runtime.GC()
-			if runtime.NumGoroutine() <= before {
-				return
-			}
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<20)
-				n := runtime.Stack(buf, true)
-				t.Fatalf("goroutine leak: %d before, %d after\n%s",
-					before, runtime.NumGoroutine(), buf[:n])
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-	}
-}
+// leakCheck is the shared goroutine-leak assertion (ptest.NoLeaks).
+func leakCheck(t *testing.T) func() { return ptest.NoLeaks(t) }
 
 func skipPolicy(prefix string) *Params {
 	ps := NewParams()

@@ -1,0 +1,40 @@
+package ptest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// NoLeaks snapshots the goroutine count and returns a func that fails
+// the test if the count has not returned to the baseline within a
+// polling deadline — goleak-style accounting without the dependency.
+// Use as the first deferred call of any test that spins up runtimes,
+// job services or fleet coordinators:
+//
+//	defer ptest.NoLeaks(t)()
+//
+// It lives beside the generated parallel unit tests because it guards
+// the same property they do: a parallel execution that terminates
+// cleanly, leaving no thread behind.
+func NoLeaks(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"patty/internal/obs"
+)
+
+// FleetTable renders the fleet-layer digest (obs.AnalyzeFleet) in the
+// style of ServiceTable: shard progress, the evaluation ledger, shard
+// round-trip quantiles, and — only when present — the distress signals
+// (lost workers, re-dispatched leases, local fallback evaluations). It
+// backs the /statusz pages of the coordinator and of `patty worker`.
+func FleetTable(h obs.FleetHealth) string {
+	var b strings.Builder
+	b.WriteString("=== tuning fleet (from internal/obs fleet.* keys) ===\n")
+	if h.Coordinator() {
+		fmt.Fprintf(&b, "workers %d (%d lost)   shards %d/%d merged (%.0f%%), %d stolen\n",
+			h.Workers, h.WorkersLost, h.ShardsDone, h.ShardsTotal, 100*h.Progress(), h.ShardsStolen)
+		fmt.Fprintf(&b, "evals   merged %d, duplicate %d (%.0f%% overhead), resumed %d, local fallback %d\n",
+			h.EvalsMerged, h.EvalsDuplicate, 100*h.DuplicateRate(), h.EvalsResumed, h.EvalsLocal)
+		if h.ShardRTT.Count > 0 {
+			fmt.Fprintf(&b, "shard rtt p50 %.1f ms, p95 %.1f ms, max %.1f ms (%d attempts)\n",
+				h.ShardRTT.Quantile(0.5)/1e6, h.ShardRTT.Quantile(0.95)/1e6,
+				float64(h.ShardRTT.Max)/1e6, h.ShardRTT.Count)
+		}
+	}
+	if h.WorkerShards > 0 || h.WorkerEvals > 0 || h.WorkerCacheHits > 0 {
+		fmt.Fprintf(&b, "worker  %d shard(s) served, %d eval(s) measured, %d cache hit(s)\n",
+			h.WorkerShards, h.WorkerEvals, h.WorkerCacheHits)
+	}
+	if h.Degraded() {
+		b.WriteString("distress:\n")
+		if h.WorkersLost > 0 {
+			fmt.Fprintf(&b, "   %d worker(s) benched after repeated failures\n", h.WorkersLost)
+		}
+		if h.ShardsRedispatched > 0 {
+			fmt.Fprintf(&b, "   %d lease(s) expired or failed and were re-dispatched\n", h.ShardsRedispatched)
+		}
+		if h.EvalsLocal > 0 {
+			fmt.Fprintf(&b, "   %d replay miss(es) evaluated locally (table incomplete)\n", h.EvalsLocal)
+		}
+	} else if h.Coordinator() {
+		b.WriteString("no distress: no workers lost, no leases re-dispatched, table complete\n")
+	}
+	return b.String()
+}

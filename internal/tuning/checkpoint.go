@@ -30,6 +30,12 @@ type SearchMeta struct {
 	Start  map[string]int `json:"start"`
 }
 
+// Signature is the canonical comparable identity of a search: two
+// runs with equal signatures answer the same question. The fleet
+// protocol ships it with every shard so a worker's evaluation journal
+// is never shared between different searches.
+func (m SearchMeta) Signature() string { return m.signature() }
+
 // signature is the canonical comparable form of a SearchMeta.
 func (m SearchMeta) signature() string {
 	dims := append([]Dim(nil), m.Dims...)
@@ -128,6 +134,42 @@ func (c *Checkpointer) Wrap(obj Objective) Objective {
 		return rec.cost()
 	}
 }
+
+// Record journals an externally produced evaluation — the fleet
+// coordinator merges worker-computed costs through it — without
+// invoking an objective. A key already journaled is ignored, so merges
+// are idempotent under duplicate shard completions. The snapshot is
+// persisted by the next Flush; callers batch one Flush per merged
+// shard instead of one write per evaluation.
+func (c *Checkpointer) Record(a map[string]int, cost float64) {
+	key := assignKey(a)
+	if _, ok := c.cache[key]; ok {
+		return
+	}
+	rec := EvalRecord{Assignment: copyAssign(a), Cost: cost}
+	if math.IsInf(cost, 1) || math.IsNaN(cost) || math.IsInf(cost, -1) {
+		rec.Cost, rec.Faulted = 0, true
+	}
+	c.cache[key] = rec
+	c.state.Evals = append(c.state.Evals, rec)
+}
+
+// Lookup returns the journaled record for a canonical assignment key.
+func (c *Checkpointer) Lookup(key string) (EvalRecord, bool) {
+	rec, ok := c.cache[key]
+	return rec, ok
+}
+
+// Records returns a copy of every journaled evaluation, in journal
+// order — the fleet coordinator seeds its merge table from it on
+// resume.
+func (c *Checkpointer) Records() []EvalRecord {
+	return append([]EvalRecord(nil), c.state.Evals...)
+}
+
+// EffectiveCost reconstructs the in-memory cost of a record (+Inf
+// when the evaluation faulted).
+func (r EvalRecord) EffectiveCost() float64 { return r.cost() }
 
 // cost reconstructs the in-memory cost of a record.
 func (r EvalRecord) cost() float64 {
