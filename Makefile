@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz faults chaos fleet bench bench-fleet lint eval study examples clean
+.PHONY: all build test race fuzz faults chaos fleet vm bench bench-fleet bench-interp lint eval study examples clean
 
 all: build test
 
@@ -53,6 +53,16 @@ fleet:
 	$(GO) test -race -count=1 -timeout 120s ./internal/fleet/
 	$(GO) test -race -count=1 -timeout 120s -run 'Fleet|ServeIntakeHardening' ./cmd/patty/
 
+# vm is the bytecode-engine gate: the VM must stay bit-identical to
+# the tree-walking oracle — engine equivalence and golden-disassembly
+# suites under -race, the VM-vs-tree fuzz corpus replay, and a CLI
+# fuzzing smoke with every machine pinned to the VM.
+vm:
+	$(GO) test -race -count=1 -run 'Engine|CorpusEngineEquivalence|GoldenDisassembly|RegressionSeeds' \
+		./internal/interp/ ./internal/difftest/
+	$(GO) test ./internal/difftest -run '^$$' -fuzz FuzzVMvsTreeWalker -fuzztime 30s
+	$(GO) run ./cmd/patty fuzz -n 50 -engine vm
+
 # lint fails when any file needs gofmt or go vet finds an issue; CI
 # runs this on every push (see .github/workflows/ci.yml).
 lint:
@@ -64,12 +74,19 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
+	$(GO) test -bench 'BenchmarkEngine' -benchmem -benchtime 1x ./internal/interp/
 
 # bench-fleet refreshes BENCH_fleet.json: the fixed-seed search at 1,
 # 2 and 4 in-process workers against the local reference, asserting
 # the merged best matches at every point.
 bench-fleet:
 	$(GO) run ./cmd/patty fleetbench -o BENCH_fleet.json
+
+# bench-interp refreshes BENCH_interp.json: corpus throughput on the
+# bytecode VM vs the tree-walking reference, failing below the 10x
+# speedup gate.
+bench-interp:
+	$(GO) run ./cmd/patty interpbench -o BENCH_interp.json
 
 eval:
 	$(GO) run ./cmd/patty eval

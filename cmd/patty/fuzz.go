@@ -7,8 +7,21 @@ import (
 	"fmt"
 
 	"patty/internal/difftest"
+	"patty/internal/interp"
 	"patty/internal/seed"
 )
+
+// setDefaultEngine applies a subcommand's -engine flag: it pins the
+// package-wide default, so every Machine created downstream (model
+// enrichment, difftest legs, corpus evaluation) runs on that engine.
+func setDefaultEngine(name string) error {
+	eng, err := interp.ParseEngine(name)
+	if err != nil {
+		return err
+	}
+	interp.DefaultEngine = eng
+	return nil
+}
 
 // cmdFuzz drives the differential fuzzing harness: generate programs,
 // run each through detect → TADL → transform → parrt against the
@@ -29,7 +42,11 @@ func cmdFuzz(ctx context.Context, args []string) error {
 	reproDir := fs.String("repro-dir", "patty-out", "directory for reproducer files")
 	checkSeed := fs.Int64("check-seed", 0, "replay one exact program seed (from a reproducer file) and exit")
 	ckpt := fs.String("checkpoint", "", "journal sweep progress to this file and resume from it")
+	engineFlag := fs.String("engine", "auto", "interpreter engine for the oracle and execution legs: auto | tree | vm")
 	fs.Parse(args)
+	if err := setDefaultEngine(*engineFlag); err != nil {
+		return err
+	}
 
 	opt := difftest.Options{Configs: *configs, Static: *static, Faults: *faults}
 

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"patty/internal/corpus"
+	"patty/internal/difftest"
+	"patty/internal/interp"
+	"patty/internal/seed"
+)
+
+// interpEnginePoint is one engine's interpreter-level measurement: a
+// fixed number of full corpus passes, machines and bytecode prepared
+// outside the timed region.
+type interpEnginePoint struct {
+	WallMs         float64 `json:"wall_ms"`
+	ProgramsPerSec float64 `json:"programs_per_sec"`
+}
+
+// interpBench is the BENCH_interp.json baseline: the bytecode VM
+// against the tree-walking reference on the benchmark corpus, plus the
+// end-to-end effect on a differential-fuzzing sweep. The interpreter
+// ratio is the gate; the fuzz ratio is informational because interp
+// time is only part of a Check (detect, transform and the parallel
+// legs are engine-independent, and the in-Check engine leg runs both
+// engines by design).
+type interpBench struct {
+	Programs    int               `json:"programs"`
+	Passes      int               `json:"passes"`
+	Tree        interpEnginePoint `json:"tree"`
+	VM          interpEnginePoint `json:"vm"`
+	Speedup     float64           `json:"speedup"`
+	MinSpeedup  float64           `json:"min_speedup"`
+	FuzzN       int               `json:"fuzz_n"`
+	FuzzTreeMs  float64           `json:"fuzz_tree_wall_ms"`
+	FuzzVMMs    float64           `json:"fuzz_vm_wall_ms"`
+	FuzzSpeedup float64           `json:"fuzz_speedup"`
+}
+
+// interpCorpusPass measures `passes` full corpus passes on one engine.
+// The per-program Machines (and, for the VM, the compiled bytecode) are
+// built before the clock starts, so the measurement isolates pure
+// interpretation time — the quantity the performance model's dynamic
+// enrichment pays per traced run.
+func interpCorpusPass(ctx context.Context, eng interp.Engine, passes int) (interpEnginePoint, error) {
+	type ready struct {
+		p *corpus.Program
+		m *interp.Machine
+	}
+	var progs []ready
+	for _, p := range corpus.All() {
+		sp, err := p.Load()
+		if err != nil {
+			return interpEnginePoint{}, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		m := interp.NewMachine(sp)
+		m.SetEngine(eng)
+		// Warm-up run: compiles the bytecode (VM) and faults in the
+		// source program either way.
+		if _, _, err := m.Run(p.Entry, p.Args(m), interp.Options{}); err != nil {
+			return interpEnginePoint{}, fmt.Errorf("%s on %s: %w", p.Name, eng, err)
+		}
+		progs = append(progs, ready{p, m})
+	}
+	t0 := time.Now()
+	for i := 0; i < passes; i++ {
+		if err := ctx.Err(); err != nil {
+			return interpEnginePoint{}, err
+		}
+		for _, r := range progs {
+			if _, _, err := r.m.Run(r.p.Entry, r.p.Args(r.m), interp.Options{}); err != nil {
+				return interpEnginePoint{}, fmt.Errorf("%s on %s: %w", r.p.Name, eng, err)
+			}
+		}
+	}
+	wall := time.Since(t0)
+	pt := interpEnginePoint{WallMs: float64(wall.Microseconds()) / 1e3}
+	if wall > 0 {
+		pt.ProgramsPerSec = float64(passes*len(progs)) / wall.Seconds()
+	}
+	return pt, nil
+}
+
+// interpFuzzSweep times a fixed differential sweep with DefaultEngine
+// pinned to eng — the same machines `patty fuzz` creates.
+func interpFuzzSweep(ctx context.Context, eng interp.Engine, n int) (float64, error) {
+	prev := interp.DefaultEngine
+	interp.DefaultEngine = eng
+	defer func() { interp.DefaultEngine = prev }()
+	opt := difftest.Options{Configs: 1}
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		p := difftest.Generate(seed.Mix(seed.Default, int64(i)), difftest.GenOptions{})
+		if res := difftest.Check(p, opt); res.Div != nil {
+			return 0, fmt.Errorf("seed %d diverged during benchmark: %s", p.Seed, res.Div)
+		}
+	}
+	return float64(time.Since(t0).Microseconds()) / 1e3, nil
+}
+
+// cmdInterpbench measures and gates the bytecode VM: corpus throughput
+// on both engines must show at least -min-speedup, and the JSON
+// baseline lands in -o (checked in as BENCH_interp.json).
+func cmdInterpbench(ctx context.Context, args []string) error {
+	fs := newFlagSet("interpbench")
+	passes := fs.Int("passes", 20, "timed full-corpus passes per engine")
+	fuzzN := fs.Int("fuzz-n", 25, "programs in the end-to-end differential sweep (0: skip)")
+	minSpeedup := fs.Float64("min-speedup", 10, "fail unless vm/tree interpreter speedup reaches this")
+	outPath := fs.String("o", "", "also write the JSON baseline to this file")
+	fs.Parse(args)
+
+	bench := interpBench{
+		Programs:   len(corpus.All()),
+		Passes:     *passes,
+		MinSpeedup: *minSpeedup,
+		FuzzN:      *fuzzN,
+	}
+
+	tree, err := interpCorpusPass(ctx, interp.EngineTree, *passes)
+	if err != nil {
+		return err
+	}
+	vm, err := interpCorpusPass(ctx, interp.EngineVM, *passes)
+	if err != nil {
+		return err
+	}
+	bench.Tree, bench.VM = tree, vm
+	if vm.WallMs > 0 {
+		bench.Speedup = tree.WallMs / vm.WallMs
+	}
+	fmt.Printf("interp: %d corpus programs x %d passes\n", bench.Programs, bench.Passes)
+	fmt.Printf("  tree: %8.1f ms  (%8.1f programs/s)\n", tree.WallMs, tree.ProgramsPerSec)
+	fmt.Printf("  vm:   %8.1f ms  (%8.1f programs/s)\n", vm.WallMs, vm.ProgramsPerSec)
+	fmt.Printf("  speedup: %.1fx (gate: >= %.1fx)\n", bench.Speedup, bench.MinSpeedup)
+
+	if *fuzzN > 0 {
+		ft, err := interpFuzzSweep(ctx, interp.EngineTree, *fuzzN)
+		if err != nil {
+			return err
+		}
+		fv, err := interpFuzzSweep(ctx, interp.EngineVM, *fuzzN)
+		if err != nil {
+			return err
+		}
+		bench.FuzzTreeMs, bench.FuzzVMMs = ft, fv
+		if fv > 0 {
+			bench.FuzzSpeedup = ft / fv
+		}
+		fmt.Printf("fuzz sweep (%d programs end-to-end): tree %.0f ms, vm %.0f ms (%.2fx)\n",
+			*fuzzN, ft, fv, bench.FuzzSpeedup)
+	}
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if bench.Speedup < bench.MinSpeedup {
+		return fmt.Errorf("vm speedup %.1fx is below the %.1fx gate", bench.Speedup, bench.MinSpeedup)
+	}
+	return nil
+}

@@ -84,6 +84,8 @@ func main() {
 		err = interruptible(cmdWorker, args)
 	case "fleetbench":
 		err = interruptible(cmdFleetbench, args)
+	case "interpbench":
+		err = interruptible(cmdInterpbench, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -143,12 +145,13 @@ commands:
             processes and merged to the identical result
   study     [-seed n] [-measured] [-checkpoint f.ckpt]
             regenerate the user-study tables
-  eval      [-static]                   corpus precision/recall vs baselines
+  eval      [-static] [-engine auto|tree|vm]
+            corpus precision/recall vs baselines
   corpus                                list benchmark programs
   model     [-corpus name | files...] [-dot cfg|callgraph|stages] [-fn name]
   sweep     [-kind cores|replication|length]
   fuzz      [-seed n] [-n m] [-shrink] [-faults] [-check-seed s]
-            [-checkpoint f.ckpt]
+            [-checkpoint f.ckpt] [-engine auto|tree|vm]
             differential fuzzing: generated programs through
             detect -> transform -> execute vs the sequential oracle
             (-faults adds deterministic fault-injection legs)
@@ -165,6 +168,9 @@ commands:
   fleetbench [-counts 1,2,4] [-eval-delay ms] [-o BENCH_fleet.json]
             wall-clock baseline of the distributed search vs the local
             reference, with the determinism check inline
+  interpbench [-passes n] [-fuzz-n m] [-min-speedup x] [-o BENCH_interp.json]
+            bytecode VM vs tree-walker throughput on the corpus; fails
+            unless the VM reaches the -min-speedup gate
 
 tune, study, eval, fuzz, serve and worker stop cleanly on the first
 SIGINT or SIGTERM (printing partial results); a second signal
@@ -370,7 +376,11 @@ func cmdEval(ctx context.Context, args []string) error {
 	fs := newFlagSet("eval")
 	staticOnly := fs.Bool("static", false, "evaluate without dynamic analysis")
 	noObs := fs.Bool("no-obs", false, "skip the runtime observability probe")
+	engineFlag := fs.String("engine", "auto", "interpreter engine for dynamic analysis: auto | tree | vm")
 	fs.Parse(args)
+	if err := setDefaultEngine(*engineFlag); err != nil {
+		return err
+	}
 	dets := []baseline.Detector{
 		baseline.Patty{},
 		baseline.HotspotProfiler{},

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"patty/internal/seed"
+	"patty/internal/source"
 )
 
 // TestGenerateDeterministic: the same (seed, shape) pair must yield a
@@ -99,12 +100,13 @@ func TestDifferentialSched(t *testing.T) {
 type regressionSeed struct {
 	seed   int64
 	faults bool // replay with the fault-injection legs enabled
+	engine bool // recorded for the VM-vs-tree engine leg
 }
 
 // regressionSeeds reads testdata/seeds.txt: one program seed per line,
-// optionally followed by the tag "faults", '#' comments allowed. Every
-// divergence ever caught and shrunk gets its seed appended there, so
-// past failures are re-checked forever.
+// optionally followed by the tags "faults" or "engine", '#' comments
+// allowed. Every divergence ever caught and shrunk gets its seed
+// appended there, so past failures are re-checked forever.
 func regressionSeeds(t *testing.T) []regressionSeed {
 	t.Helper()
 	f, err := os.Open(filepath.Join("testdata", "seeds.txt"))
@@ -129,10 +131,14 @@ func regressionSeeds(t *testing.T) []regressionSeed {
 		}
 		rs := regressionSeed{seed: v}
 		for _, tag := range fields[1:] {
-			if tag != "faults" {
+			switch tag {
+			case "faults":
+				rs.faults = true
+			case "engine":
+				rs.engine = true
+			default:
 				t.Fatalf("unknown tag %q on seed line %q", tag, sc.Text())
 			}
-			rs.faults = true
 		}
 		seeds = append(seeds, rs)
 	}
@@ -142,13 +148,27 @@ func regressionSeeds(t *testing.T) []regressionSeed {
 // TestRegressionSeeds replays the checked-in corpus with the sched leg
 // enabled — deeper than the random sweep, affordable because the
 // corpus is small. Seeds tagged "faults" additionally run the
-// fault-injection legs they were recorded against.
+// fault-injection legs they were recorded against; seeds tagged
+// "engine" additionally sweep the VM-vs-tree differential across
+// several workload sizes (the in-Check leg runs a single size).
 func TestRegressionSeeds(t *testing.T) {
 	for _, rs := range regressionSeeds(t) {
 		p := Generate(rs.seed, GenOptions{})
 		res := Check(p, Options{Configs: 3, Sched: !testing.Short(), SchedMax: 100, Faults: rs.faults})
 		if res.Div != nil {
 			t.Errorf("regression seed %d: %s", rs.seed, res.Div)
+		}
+		if rs.engine {
+			prog, err := source.ParseSources(map[string]string{"fz.go": p.Render()})
+			if err != nil {
+				t.Errorf("regression seed %d: parse: %v", rs.seed, err)
+				continue
+			}
+			for _, n := range []int64{1, 2, 5, 13} {
+				if msg := engineDiff(prog, n); msg != "" {
+					t.Errorf("regression seed %d (engine, n=%d): %s", rs.seed, n, msg)
+				}
+			}
 		}
 	}
 }

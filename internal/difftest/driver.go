@@ -98,6 +98,7 @@ func (o Options) withDefaults() Options {
 type Divergence struct {
 	// Kind classifies the failure:
 	//   harness      - generator/oracle self-check failed (a difftest bug)
+	//   engine       - bytecode VM disagrees with the tree-walking oracle
 	//   phase        - a process phase errored out
 	//   verdict      - detector classification contradicts ground truth
 	//   transform    - no code generated for the target candidate
@@ -266,6 +267,13 @@ func Check(p *Prog, opt Options) *Result {
 		[]interp.Value{int64(p.N)}, interp.Options{})
 	if err != nil {
 		return div("harness", "oracle run failed: %v", err)
+	}
+
+	// 1b. Engine differential: the bytecode VM must reproduce the
+	// tree-walking oracle bit-for-bit — values, virtual time, profile
+	// and the load/store trace for every loop target (engineleg.go).
+	if msg := engineDiff(oracleProg, int64(p.N)); msg != "" {
+		return div("engine", "vm disagrees with tree-walker: %s", msg)
 	}
 
 	// 2. The native reference executor must agree with the

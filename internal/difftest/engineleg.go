@@ -1,0 +1,109 @@
+package difftest
+
+import (
+	"fmt"
+
+	"patty/internal/interp"
+	"patty/internal/source"
+)
+
+// The engine leg: every generated program is executed on both the
+// tree-walking interpreter and the bytecode VM, and the two runs must
+// agree bit-for-bit — return values, error text, total virtual time,
+// per-statement profile, target-loop iteration count and the full
+// load/store trace for every loop target. The tree-walker is the
+// oracle; any disagreement is an "engine" divergence and shrinks like
+// any other difftest finding.
+
+// engineRun executes Kernel on one engine and captures everything the
+// comparison needs. A fresh Machine per run keeps the traced address
+// space identical across engines.
+func engineRun(prog *source.Program, n int64, eng interp.Engine, target interp.Ref) ([]interp.Value, *interp.Profile, string) {
+	m := interp.NewMachine(prog)
+	vals, prof, err := m.Run("Kernel", []interp.Value{n}, interp.Options{Engine: eng, TargetLoop: target})
+	if err != nil {
+		return vals, prof, err.Error()
+	}
+	return vals, prof, ""
+}
+
+// engineDiff runs the program on both engines — once untargeted, then
+// once per loop of every function as the tracing target — and returns
+// a description of the first disagreement, or "".
+func engineDiff(prog *source.Program, n int64) string {
+	targets := []interp.Ref{{}}
+	for _, fn := range prog.Functions() {
+		for _, l := range fn.Loops() {
+			if id := fn.StmtID(l); id >= 0 {
+				targets = append(targets, interp.Ref{Fn: fn.Name, Stmt: id})
+			}
+		}
+	}
+	for _, target := range targets {
+		label := "untargeted"
+		if (target != interp.Ref{}) {
+			label = fmt.Sprintf("target %s#%d", target.Fn, target.Stmt)
+		}
+		tv, tp, te := engineRun(prog, n, interp.EngineTree, target)
+		vv, vp, ve := engineRun(prog, n, interp.EngineVM, target)
+		if msg := compareEngineRuns(tv, tp, te, vv, vp, ve); msg != "" {
+			return label + ": " + msg
+		}
+	}
+	return ""
+}
+
+// compareEngineRuns checks one tree run against one VM run for exact
+// equality of every observable.
+func compareEngineRuns(tv []interp.Value, tp *interp.Profile, te string,
+	vv []interp.Value, vp *interp.Profile, ve string) string {
+	if te != ve {
+		return fmt.Sprintf("error mismatch: tree=%q vm=%q", te, ve)
+	}
+	if len(tv) != len(vv) {
+		return fmt.Sprintf("tree returned %d values, vm %d", len(tv), len(vv))
+	}
+	for i := range tv {
+		ts, vs := interp.FormatValue(tv[i]), interp.FormatValue(vv[i])
+		if ts != vs {
+			return fmt.Sprintf("value %d: tree=%s vm=%s", i, ts, vs)
+		}
+	}
+	if te != "" {
+		return "" // both failed identically; no profile to compare
+	}
+	if tp.Total != vp.Total {
+		return fmt.Sprintf("virtual time: tree=%d vm=%d", tp.Total, vp.Total)
+	}
+	if tp.TargetIters != vp.TargetIters {
+		return fmt.Sprintf("target iterations: tree=%d vm=%d", tp.TargetIters, vp.TargetIters)
+	}
+	if len(tp.Mem) != len(vp.Mem) {
+		return fmt.Sprintf("memory trace length: tree=%d vm=%d", len(tp.Mem), len(vp.Mem))
+	}
+	for i := range tp.Mem {
+		if tp.Mem[i] != vp.Mem[i] {
+			return fmt.Sprintf("memory event %d: tree=%+v vm=%+v", i, tp.Mem[i], vp.Mem[i])
+		}
+	}
+	if len(tp.Incl) != len(vp.Incl) || len(tp.Self) != len(vp.Self) || len(tp.Count) != len(vp.Count) {
+		return fmt.Sprintf("profile sizes: tree incl/self/count=%d/%d/%d vm=%d/%d/%d",
+			len(tp.Incl), len(tp.Self), len(tp.Count), len(vp.Incl), len(vp.Self), len(vp.Count))
+	}
+	for r, v := range tp.Incl {
+		if vp.Incl[r] != v {
+			return fmt.Sprintf("incl[%s#%d]: tree=%d vm=%d", r.Fn, r.Stmt, v, vp.Incl[r])
+		}
+	}
+	for r, v := range tp.Self {
+		if vp.Self[r] != v {
+			return fmt.Sprintf("self[%s#%d]: tree=%d vm=%d", r.Fn, r.Stmt, v, vp.Self[r])
+		}
+	}
+	for r, v := range tp.Count {
+		if vp.Count[r] != v {
+			return fmt.Sprintf("count[%s#%d]: tree=%d vm=%d", r.Fn, r.Stmt, v, vp.Count[r])
+		}
+	}
+	return ""
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"patty/internal/seed"
+	"patty/internal/source"
 )
 
 // fuzzCheck is the shared fuzz body: derive a program seed from the
@@ -41,5 +42,30 @@ func FuzzDifferentialPipeline(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, base, index int64) {
 		fuzzCheck(t, ShapePipeline, base, index)
+	})
+}
+
+// FuzzVMvsTreeWalker focuses exclusively on the engine differential:
+// generate a program, run it on the tree-walking interpreter and the
+// bytecode VM for every loop target, and crash on any disagreement in
+// values, error text, virtual time, profile or memory trace. Much
+// faster per input than the full pipeline targets, so it covers far
+// more of the generator space per fuzzing minute.
+// Run with: go test ./internal/difftest -fuzz FuzzVMvsTreeWalker
+func FuzzVMvsTreeWalker(f *testing.F) {
+	for i := int64(0); i < 8; i++ {
+		f.Add(int64(7), i)
+	}
+	f.Fuzz(func(t *testing.T, base, index int64) {
+		p := Generate(seed.Mix(base, index), GenOptions{})
+		prog, err := source.ParseSources(map[string]string{"fz.go": p.Render()})
+		if err != nil {
+			t.Fatalf("generated source does not parse: %v", err)
+		}
+		if msg := engineDiff(prog, int64(p.N)); msg != "" {
+			small, d := Shrink(p, Options{Configs: 1}, 100)
+			t.Fatalf("engine divergence: %s\nshrunk reproducer (seed %d, %d loop lines):\n%s",
+				msg, small.Seed, small.LoopLines(), reproSource(small, d))
+		}
 	})
 }

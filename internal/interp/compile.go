@@ -1,0 +1,1396 @@
+package interp
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"patty/internal/source"
+)
+
+// compileProgram lowers the whole program to bytecode. It returns an
+// error (the bail reason) when any reachable construct needs
+// tree-walker semantics; the program then runs on the tree engine.
+func (m *Machine) compileProgram() (vmc *vmCompiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(*errBail); ok {
+				vmc, err = nil, b
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	c := &progCompiler{
+		m:       m,
+		vmc:     &vmCompiled{byName: make(map[string]*Code)},
+		fnIdx:   make(map[string]int32),
+		intrIdx: make(map[string]int32),
+		globals: make(map[string]int32),
+	}
+
+	fns := m.prog.Functions()
+	for i, fn := range fns {
+		c.fnIdx[fn.Name] = int32(i)
+	}
+
+	// The initializer compiles first: expressions in it see only the
+	// globals declared before them, exactly like initGlobals.
+	c.vmc.initCode = c.compileInit()
+
+	for _, fn := range fns {
+		code := c.compileFunc(fn)
+		c.vmc.units = append(c.vmc.units, code)
+		c.vmc.byName[fn.Name] = code
+	}
+
+	// Dense ref table: program-wide statement ids for the profile
+	// counters, converted back to Ref maps when a run finishes.
+	base := 0
+	for _, code := range c.vmc.units {
+		code.refBase = base
+		n := code.fn.NumStmts()
+		for s := 0; s < n; s++ {
+			c.vmc.refs = append(c.vmc.refs, Ref{Fn: code.Name, Stmt: s})
+		}
+		base += n
+	}
+	return c.vmc, nil
+}
+
+type progCompiler struct {
+	m       *Machine
+	vmc     *vmCompiled
+	fnIdx   map[string]int32 // function name → unit index
+	intrIdx map[string]int32 // intrinsic name → table index
+	globals map[string]int32 // global name → index (grows during init)
+}
+
+func (c *progCompiler) intrinsic(name string) (int32, bool) {
+	in, ok := c.m.intrinsics[name]
+	if !ok {
+		return 0, false
+	}
+	if idx, ok := c.intrIdx[name]; ok {
+		return idx, true
+	}
+	idx := int32(len(c.vmc.intrinsics))
+	c.vmc.intrinsics = append(c.vmc.intrinsics, in)
+	c.intrIdx[name] = idx
+	return idx, true
+}
+
+// compileInit lowers package-level var declarations in file order.
+func (c *progCompiler) compileInit() *Code {
+	code := &Code{Name: "init"}
+	u := &unitCompiler{c: c, code: code}
+	for _, file := range c.m.prog.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						u.compileExpr(vs.Values[i])
+					} else {
+						u.emit(Op{Code: opZeroVal, A: code.typeIdx(vs.Type)})
+						u.depth++
+					}
+					if _, dup := c.globals[name.Name]; dup {
+						bailf("duplicate global " + name.Name)
+					}
+					gi := int32(len(c.vmc.globalNames))
+					c.vmc.globalNames = append(c.vmc.globalNames, name.Name)
+					c.globals[name.Name] = gi
+					u.emit(Op{Code: opDefineGlobal, A: gi})
+					u.depth--
+				}
+			}
+		}
+	}
+	u.emit(Op{Code: opReturnBare})
+	return code
+}
+
+// compileFunc lowers one function or method.
+func (c *progCompiler) compileFunc(fn *source.Function) *Code {
+	code := &Code{Name: fn.Name, fn: fn}
+	u := &unitCompiler{c: c, code: code, fn: fn}
+	u.scope = &cscope{names: make(map[string]int32)}
+
+	decl := fn.Decl
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			for _, name := range f.Names {
+				code.recvSlots = append(code.recvSlots, u.newSlot(name.Name))
+			}
+		}
+	}
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			for _, name := range f.Names {
+				code.paramSlots = append(code.paramSlots, u.newSlot(name.Name))
+			}
+		}
+	}
+	if decl.Type.Results != nil {
+		for _, f := range decl.Type.Results.List {
+			for _, name := range f.Names {
+				code.resultSlots = append(code.resultSlots, u.newSlot(name.Name))
+				code.resultTypes = append(code.resultTypes, code.typeIdx(f.Type))
+			}
+		}
+	}
+
+	u.pushScope()
+	for _, s := range decl.Body.List {
+		u.compileStmt(s)
+	}
+	u.popScope()
+	u.emit(Op{Code: opReturnBare})
+	return code
+}
+
+type cscope struct {
+	parent *cscope
+	names  map[string]int32
+}
+
+// flowCtx is one enclosing break/continue target during compilation.
+type flowCtx struct {
+	isSwitch     bool
+	isRange      bool
+	loopIdx      int32
+	bodyRefDepth int   // statement refs pushed at body / clause level
+	breakJumps   []int // jump pcs to patch to the break target
+	contJumps    []int
+}
+
+type unitCompiler struct {
+	c        *progCompiler
+	code     *Code
+	fn       *source.Function
+	scope    *cscope
+	pendTick int64 // merged opTick accumulator
+	depth    int   // static value-stack depth
+	refDepth int   // statement refs pushed on the fall-through path
+	loopNest int   // current static loop nesting (loop state index)
+	ctxs     []*flowCtx
+}
+
+// --- emission helpers -------------------------------------------------
+
+func (u *unitCompiler) flushTick() {
+	if u.pendTick > 0 {
+		u.code.Ops = append(u.code.Ops, Op{Code: opTick, A: int32(u.pendTick)})
+		u.pendTick = 0
+	}
+}
+
+func (u *unitCompiler) emitTick(n int64) { u.pendTick += n }
+
+func (u *unitCompiler) emit(op Op) {
+	u.flushTick()
+	u.code.Ops = append(u.code.Ops, op)
+}
+
+// emitJump emits a jump-like op with a to-be-patched A target and
+// returns its pc.
+func (u *unitCompiler) emitJump(op Op) int {
+	u.emit(op)
+	return len(u.code.Ops) - 1
+}
+
+// label flushes pending ticks and returns the current pc as a target.
+func (u *unitCompiler) label() int {
+	u.flushTick()
+	return len(u.code.Ops)
+}
+
+func (u *unitCompiler) patch(pc int) {
+	u.flushTick()
+	u.code.Ops[pc].A = int32(len(u.code.Ops))
+}
+
+func (u *unitCompiler) patchTo(pc, target int) { u.code.Ops[pc].A = int32(target) }
+
+func (u *unitCompiler) emitFail(msg string) {
+	u.emit(Op{Code: opFail, A: u.code.msgIdx(msg)})
+}
+
+func (u *unitCompiler) emitPushRef(stmtID int) {
+	u.emit(Op{Code: opPushRef, A: int32(stmtID)})
+}
+
+func (u *unitCompiler) emitPopRefs(n int) {
+	if n > 0 {
+		u.emit(Op{Code: opPopRefs, A: int32(n)})
+	}
+}
+
+// at converts an absolute stack position to a depth-from-top operand.
+func (u *unitCompiler) at(pos int) int32 { return int32(u.depth - 1 - pos) }
+
+// --- scopes and resolution --------------------------------------------
+
+func (u *unitCompiler) pushScope() {
+	u.scope = &cscope{parent: u.scope, names: make(map[string]int32)}
+}
+
+func (u *unitCompiler) popScope() { u.scope = u.scope.parent }
+
+func (u *unitCompiler) newSlot(name string) int32 {
+	idx := int32(u.code.NumSlots)
+	u.code.NumSlots++
+	u.code.SlotNames = append(u.code.SlotNames, name)
+	u.scope.names[name] = idx
+	return idx
+}
+
+// resolve builds the dynamic-fallback chain for an identifier at the
+// current compile position. The snapshot of scope bindings mirrors the
+// tree-walker's env chain exactly: a cell exists dynamically iff the
+// binding is in the compile-time scope map and the slot's define has
+// executed, which the VM tracks with per-slot defined flags.
+func (u *unitCompiler) resolve(name string) *resolution {
+	var head, tail *resolution
+	add := func(r *resolution) {
+		if tail == nil {
+			head = r
+		} else {
+			tail.next = r
+		}
+		tail = r
+	}
+	for s := u.scope; s != nil; s = s.parent {
+		if idx, ok := s.names[name]; ok {
+			add(&resolution{kind: resSlot, idx: idx, name: name})
+		}
+	}
+	if gi, ok := u.c.globals[name]; ok {
+		add(&resolution{kind: resGlobal, idx: gi, name: name})
+	}
+	if ui, ok := u.c.fnIdx[name]; ok {
+		add(&resolution{kind: resFunc, idx: ui, name: name})
+	}
+	if ii, ok := u.c.intrinsic(name); ok {
+		add(&resolution{kind: resIntrinsic, idx: ii, name: name})
+	}
+	add(&resolution{kind: resUndef, name: name})
+	return head
+}
+
+func (u *unitCompiler) resolveIdx(name string) int32 {
+	return u.code.resIdx(u.resolve(name))
+}
+
+// lexicallyBound reports whether name has any slot or global binding —
+// the static analogue of env.lookup(name) != nil for the package-
+// qualifier checks.
+func (u *unitCompiler) lexicallyBound(name string) bool {
+	for s := u.scope; s != nil; s = s.parent {
+		if _, ok := s.names[name]; ok {
+			return true
+		}
+	}
+	_, ok := u.c.globals[name]
+	return ok
+}
+
+// --- statements -------------------------------------------------------
+
+func (u *unitCompiler) compileStmt(s ast.Stmt) {
+	u.emitPushRef(u.fn.StmtID(s))
+	u.refDepth++
+	u.compileStmtBody(s)
+	u.emitPopRefs(1)
+	u.refDepth--
+}
+
+func (u *unitCompiler) compileStmtBody(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		u.pushScope()
+		for _, inner := range st.List {
+			u.compileStmt(inner)
+		}
+		u.popScope()
+	case *ast.AssignStmt:
+		u.compileAssign(st)
+	case *ast.IncDecStmt:
+		delta := int32(1)
+		if st.Tok == token.DEC {
+			delta = -1
+		}
+		u.compileLValueModify(st.X, func() {
+			u.emit(Op{Code: opIncDec, A: delta})
+		})
+	case *ast.DeclStmt:
+		u.compileDecl(st)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			u.compileCall(call) // results discarded
+			return
+		}
+		u.compileExpr(st.X)
+		u.emit(Op{Code: opDrop})
+		u.depth--
+	case *ast.ReturnStmt:
+		u.compileReturn(st)
+	case *ast.IfStmt:
+		u.compileIf(st)
+	case *ast.ForStmt:
+		u.compileFor(st)
+	case *ast.RangeStmt:
+		u.compileRange(st)
+	case *ast.SwitchStmt:
+		u.compileSwitch(st)
+	case *ast.BranchStmt:
+		u.compileBranch(st)
+	case *ast.LabeledStmt:
+		u.compileStmt(st.Stmt)
+	case *ast.EmptyStmt:
+	default:
+		u.emitFail(fmt.Sprintf("unsupported statement %T", s))
+	}
+}
+
+func (u *unitCompiler) compileIf(st *ast.IfStmt) {
+	u.pushScope()
+	if st.Init != nil {
+		u.compileStmt(st.Init)
+	}
+	u.compileExpr(st.Cond)
+	jf := u.emitJump(Op{Code: opJfalse})
+	u.depth--
+	u.pushScope()
+	for _, s := range st.Body.List {
+		u.compileStmt(s)
+	}
+	u.popScope()
+	if st.Else != nil {
+		jend := u.emitJump(Op{Code: opJump})
+		u.patch(jf)
+		u.compileStmt(st.Else)
+		u.patch(jend)
+	} else {
+		u.patch(jf)
+	}
+	u.popScope()
+}
+
+// compileLoopBody compiles the top-level statements of a loop body with
+// target-loop top-statement tagging, mirroring execBodyStmts.
+func (u *unitCompiler) compileLoopBody(body *ast.BlockStmt, li int32) {
+	u.pushScope()
+	for _, s := range body.List {
+		u.emit(Op{Code: opSetTop, A: li, B: int32(u.fn.StmtID(s))})
+		u.compileStmt(s)
+		u.emit(Op{Code: opSetTop, A: li, B: -1})
+	}
+	u.popScope()
+}
+
+func (u *unitCompiler) enterLoop(isRange bool) (int32, *flowCtx) {
+	li := int32(u.loopNest)
+	u.loopNest++
+	if u.loopNest > u.code.NumLoops {
+		u.code.NumLoops = u.loopNest
+	}
+	ctx := &flowCtx{isRange: isRange, loopIdx: li, bodyRefDepth: u.refDepth}
+	u.ctxs = append(u.ctxs, ctx)
+	return li, ctx
+}
+
+func (u *unitCompiler) leaveLoop() {
+	u.ctxs = u.ctxs[:len(u.ctxs)-1]
+	u.loopNest--
+}
+
+func (u *unitCompiler) compileFor(st *ast.ForStmt) {
+	u.pushScope()
+	li, ctx := u.enterLoop(false)
+	u.emit(Op{Code: opLoopEnter, A: int32(u.fn.StmtID(st)), B: li})
+	if st.Init != nil {
+		u.compileStmt(st.Init)
+	}
+	// Slots created from here on live in per-iteration scopes: the
+	// tree-walker gives the body a fresh environment every time around,
+	// so each iteration starts with those bindings forgotten.
+	iterSlots := int32(u.code.NumSlots)
+	lcond := u.label()
+	jf := -1
+	if st.Cond != nil {
+		u.compileExpr(st.Cond)
+		jf = u.emitJump(Op{Code: opJfalse})
+		u.depth--
+	}
+	u.emit(Op{Code: opClearSlots, A: iterSlots})
+	u.compileLoopBody(st.Body, li)
+	// Continue target: iter++, post, loop-bottom tick.
+	lcont := u.label()
+	for _, pc := range ctx.contJumps {
+		u.patchTo(pc, lcont)
+	}
+	u.emit(Op{Code: opIterInc, A: li})
+	if st.Post != nil {
+		u.compileStmt(st.Post)
+	}
+	u.emitTick(1)
+	u.emit(Op{Code: opJump, A: int32(lcond)})
+	lexit := u.label()
+	if jf >= 0 {
+		u.patchTo(jf, lexit)
+	}
+	for _, pc := range ctx.breakJumps {
+		u.patchTo(pc, lexit)
+	}
+	u.emit(Op{Code: opLoopLeave, A: li})
+	u.leaveLoop()
+	u.popScope()
+}
+
+func (u *unitCompiler) compileRange(st *ast.RangeStmt) {
+	u.pushScope()
+	li, ctx := u.enterLoop(true)
+	u.emit(Op{Code: opLoopEnter, A: int32(u.fn.StmtID(st)), B: li})
+	u.compileExpr(st.X)
+
+	// The key/value variables of a := range live in a per-iteration
+	// scope between the loop scope and the body scope.
+	iterSlots := int32(u.code.NumSlots)
+	keySlot, valSlot := int32(-1), int32(-1)
+	define := st.Tok == token.DEFINE
+	if define {
+		u.pushScope()
+		if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+			keySlot = u.newSlot(id.Name)
+		}
+		if st.Value != nil {
+			if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+				valSlot = u.newSlot(id.Name)
+			}
+		}
+	}
+	u.emit(Op{Code: opRangeStart, A: li, B: keySlot, C: valSlot})
+	u.depth--
+
+	lnext := u.label()
+	// Key/value and body slots are per-iteration scopes in the
+	// tree-walker; forget them before each step.
+	u.emit(Op{Code: opClearSlots, A: iterSlots})
+	jexit := u.emitJump(Op{Code: opRangeNext, B: li})
+
+	if define {
+		if keySlot >= 0 {
+			u.emit(Op{Code: opRangeKey, A: li})
+			u.depth++
+			u.emit(Op{Code: opDefineSlot, A: keySlot})
+			u.depth--
+		}
+		if valSlot >= 0 {
+			hv := u.emitJump(Op{Code: opRangeHasV, B: li})
+			u.emit(Op{Code: opRangeVal, A: li})
+			u.depth++
+			u.emit(Op{Code: opDefineSlot, A: valSlot})
+			u.depth--
+			u.patch(hv)
+		}
+	} else {
+		if st.Key != nil && !isBlankIdent(st.Key) {
+			u.compileRangeAssign(st.Key, Op{Code: opRangeKey, A: li})
+		}
+		if st.Value != nil && !isBlankIdent(st.Value) {
+			hv := u.emitJump(Op{Code: opRangeHasV, B: li})
+			u.compileRangeAssign(st.Value, Op{Code: opRangeVal, A: li})
+			u.patch(hv)
+		}
+	}
+
+	u.compileLoopBody(st.Body, li)
+	lcont := u.label()
+	for _, pc := range ctx.contJumps {
+		u.patchTo(pc, lcont)
+	}
+	u.emit(Op{Code: opIterInc, A: li})
+	u.emitTick(1)
+	u.emit(Op{Code: opJump, A: int32(lnext)})
+	// Break still counts the iteration and ticks the loop bottom,
+	// mirroring iterate()'s unconditional iter++/tick before stopping.
+	lbreak := u.label()
+	for _, pc := range ctx.breakJumps {
+		u.patchTo(pc, lbreak)
+	}
+	u.emit(Op{Code: opIterInc, A: li})
+	u.emitTick(1)
+	lexit := u.label()
+	u.patchTo(jexit, lexit)
+	u.emit(Op{Code: opLoopLeave, A: li})
+	u.leaveLoop()
+	if define {
+		u.popScope()
+	}
+	u.popScope()
+}
+
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// compileRangeAssign lowers `existingLV = k` for range with = tokens:
+// lvalue resolution first, then the set, like assignKV.
+func (u *unitCompiler) compileRangeAssign(target ast.Expr, push Op) {
+	target = unwrapLV(target)
+	switch lv := target.(type) {
+	case *ast.Ident:
+		u.emit(push)
+		u.depth++
+		u.emit(Op{Code: opStoreName, A: u.resolveIdx(lv.Name)})
+		u.depth--
+	case *ast.IndexExpr:
+		base := u.depth
+		u.compileExpr(lv.X)
+		u.compileExpr(lv.Index)
+		u.emit(Op{Code: opIndexLVCheck})
+		u.emit(push)
+		u.depth++
+		u.emit(Op{Code: opIndexSetAt, A: 0, B: u.at(base)})
+		u.emit(Op{Code: opDropN, A: 3})
+		u.depth = base
+	case *ast.SelectorExpr:
+		base := u.depth
+		u.compileExpr(lv.X)
+		u.emit(Op{Code: opFieldLVCheck, A: u.code.nameIdx(lv.Sel.Name)})
+		u.emit(push)
+		u.depth++
+		u.emit(Op{Code: opFieldSetAt, A: u.code.nameIdx(lv.Sel.Name), B: 0, C: u.at(base)})
+		u.emit(Op{Code: opDropN, A: 2})
+		u.depth = base
+	default:
+		u.emitFail(fmt.Sprintf("unsupported assignment target %T", target))
+	}
+}
+
+func (u *unitCompiler) compileSwitch(st *ast.SwitchStmt) {
+	u.pushScope()
+	if st.Init != nil {
+		u.compileStmt(st.Init)
+	}
+	baseDepth := u.depth
+	if st.Tag != nil {
+		u.compileExpr(st.Tag)
+	} else {
+		u.emit(Op{Code: opConst, A: u.code.constIdx(true)})
+		u.depth++
+	}
+
+	type armTarget struct {
+		clause *ast.CaseClause
+		jumps  []int
+	}
+	var arms []*armTarget
+	var defaultClause *ast.CaseClause
+	for _, cc := range st.Body.List {
+		clause, ok := cc.(*ast.CaseClause)
+		if !ok {
+			bailf("non-case clause in switch")
+		}
+		if clause.List == nil {
+			defaultClause = clause
+			continue
+		}
+		arm := &armTarget{clause: clause}
+		for _, e := range clause.List {
+			u.compileExpr(e)
+			arm.jumps = append(arm.jumps, u.emitJump(Op{Code: opCaseEq}))
+			u.depth-- // case value popped; tag stays on the fall path
+		}
+		arms = append(arms, arm)
+	}
+	u.emit(Op{Code: opDropN, A: 1}) // no case matched: drop the tag
+	u.depth--
+	jNoMatch := u.emitJump(Op{Code: opJump})
+
+	ctx := &flowCtx{isSwitch: true, bodyRefDepth: u.refDepth}
+	u.ctxs = append(u.ctxs, ctx)
+	var exits []int
+	for _, arm := range arms {
+		l := u.label()
+		for _, pc := range arm.jumps {
+			u.patchTo(pc, l)
+		}
+		u.depth = baseDepth // tag consumed by the matching opCaseEq
+		u.compileClauseBody(arm.clause)
+		exits = append(exits, u.emitJump(Op{Code: opJump}))
+	}
+	if defaultClause != nil {
+		u.patch(jNoMatch)
+		u.depth = baseDepth
+		u.compileClauseBody(defaultClause)
+	}
+	lexit := u.label()
+	if defaultClause == nil {
+		u.patchTo(jNoMatch, lexit)
+	}
+	for _, pc := range exits {
+		u.patchTo(pc, lexit)
+	}
+	for _, pc := range ctx.breakJumps {
+		u.patchTo(pc, lexit)
+	}
+	u.ctxs = u.ctxs[:len(u.ctxs)-1]
+	u.depth = baseDepth
+	u.popScope()
+}
+
+func (u *unitCompiler) compileClauseBody(clause *ast.CaseClause) {
+	u.pushScope()
+	for _, s := range clause.Body {
+		u.compileStmt(s)
+	}
+	u.popScope()
+}
+
+func (u *unitCompiler) compileBranch(st *ast.BranchStmt) {
+	switch st.Tok {
+	case token.BREAK:
+		if st.Label != nil {
+			u.emitFail("labeled break is outside the supported subset")
+			return
+		}
+		if len(u.ctxs) == 0 {
+			// A stray break propagates to callFunction, which treats
+			// any non-return control like falling off the end.
+			u.emitReturnUnwind()
+			u.emit(Op{Code: opReturnBare})
+			return
+		}
+		ctx := u.ctxs[len(u.ctxs)-1]
+		u.emitPopRefs(u.refDepth - ctx.bodyRefDepth)
+		if !ctx.isSwitch {
+			u.emit(Op{Code: opSetTop, A: ctx.loopIdx, B: -1})
+		}
+		ctx.breakJumps = append(ctx.breakJumps, u.emitJump(Op{Code: opJump}))
+	case token.CONTINUE:
+		if st.Label != nil {
+			u.emitFail("labeled continue is outside the supported subset")
+			return
+		}
+		var ctx *flowCtx
+		for i := len(u.ctxs) - 1; i >= 0; i-- {
+			if !u.ctxs[i].isSwitch {
+				ctx = u.ctxs[i]
+				break
+			}
+		}
+		if ctx == nil {
+			u.emitReturnUnwind()
+			u.emit(Op{Code: opReturnBare})
+			return
+		}
+		u.emitPopRefs(u.refDepth - ctx.bodyRefDepth)
+		u.emit(Op{Code: opSetTop, A: ctx.loopIdx, B: -1})
+		ctx.contJumps = append(ctx.contJumps, u.emitJump(Op{Code: opJump}))
+	default:
+		u.emitFail(fmt.Sprintf("unsupported branch statement %s", st.Tok))
+	}
+}
+
+func (u *unitCompiler) compileReturn(st *ast.ReturnStmt) {
+	if len(st.Results) == 0 {
+		u.emitReturnUnwind()
+		u.emit(Op{Code: opReturnBare})
+		return
+	}
+	if len(st.Results) == 1 {
+		if call, ok := st.Results[0].(*ast.CallExpr); ok {
+			u.compileCall(call)
+			u.emitReturnUnwind()
+			u.emit(Op{Code: opReturnRes})
+			return
+		}
+	}
+	for _, e := range st.Results {
+		u.compileExpr(e)
+	}
+	u.emitReturnUnwind()
+	u.emit(Op{Code: opReturnValues, B: int32(len(st.Results))})
+	u.depth -= len(st.Results)
+}
+
+// emitReturnUnwind replays the tree-walker's unwinding on return: the
+// statement refs pop level by level, and every enclosing loop runs its
+// leave bookkeeping (ranges also count the iteration and tick the loop
+// bottom, mirroring iterate()).
+func (u *unitCompiler) emitReturnUnwind() {
+	cur := u.refDepth
+	for i := len(u.ctxs) - 1; i >= 0; i-- {
+		ctx := u.ctxs[i]
+		if ctx.isSwitch {
+			continue
+		}
+		u.emitPopRefs(cur - ctx.bodyRefDepth)
+		cur = ctx.bodyRefDepth
+		u.emit(Op{Code: opSetTop, A: ctx.loopIdx, B: -1})
+		if ctx.isRange {
+			u.emit(Op{Code: opIterInc, A: ctx.loopIdx})
+			u.emitTick(1)
+		}
+		u.emit(Op{Code: opLoopLeave, A: ctx.loopIdx})
+	}
+	u.emitPopRefs(cur)
+}
+
+func (u *unitCompiler) compileDecl(st *ast.DeclStmt) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		u.emitFail("unsupported declaration")
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) > 0 {
+			n := len(vs.Names)
+			u.compileTuple(vs.Values, n)
+			base := u.depth - n
+			for i, name := range vs.Names {
+				slot := u.newSlot(name.Name)
+				u.emit(Op{Code: opDefineSlotAt, A: slot, B: u.at(base + i)})
+			}
+			u.emit(Op{Code: opDropN, A: int32(n)})
+			u.depth = base
+		} else {
+			for _, name := range vs.Names {
+				u.emit(Op{Code: opZeroVal, A: u.code.typeIdx(vs.Type)})
+				u.depth++
+				slot := u.newSlot(name.Name)
+				u.emit(Op{Code: opDefineSlot, A: slot})
+				u.depth--
+			}
+		}
+	}
+}
+
+func unwrapLV(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func (u *unitCompiler) compileAssign(st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.DEFINE:
+		n := len(st.Lhs)
+		u.compileTuple(st.Rhs, n)
+		base := u.depth - n
+		for i, lhs := range st.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				u.emitFail(":= target must be an identifier")
+				break
+			}
+			if id.Name == "_" {
+				continue
+			}
+			if slot, exists := u.scope.names[id.Name]; exists {
+				// Go redeclaration: reuse the cell from this scope.
+				u.emit(Op{Code: opStoreSlotAt, A: slot, B: u.at(base + i)})
+			} else {
+				slot := u.newSlot(id.Name)
+				u.emit(Op{Code: opDefineSlotAt, A: slot, B: u.at(base + i)})
+			}
+		}
+		u.emit(Op{Code: opDropN, A: int32(n)})
+		u.depth = base
+	case token.ASSIGN:
+		n := len(st.Lhs)
+		u.compileTuple(st.Rhs, n)
+		base := u.depth - n
+		const (
+			lvBlank = iota
+			lvIdent
+			lvIndex
+			lvField
+			lvBad
+		)
+		type plan struct {
+			kind     int
+			res      int32
+			name     int32
+			opndBase int
+		}
+		plans := make([]plan, 0, n)
+		for _, lhs := range st.Lhs {
+			target := unwrapLV(lhs)
+			switch lv := target.(type) {
+			case *ast.Ident:
+				if lv.Name == "_" {
+					plans = append(plans, plan{kind: lvBlank})
+					continue
+				}
+				res := u.resolveIdx(lv.Name)
+				u.emit(Op{Code: opCheckName, A: res})
+				plans = append(plans, plan{kind: lvIdent, res: res})
+			case *ast.IndexExpr:
+				p := plan{kind: lvIndex, opndBase: u.depth}
+				u.compileExpr(lv.X)
+				u.compileExpr(lv.Index)
+				u.emit(Op{Code: opIndexLVCheck})
+				plans = append(plans, p)
+			case *ast.SelectorExpr:
+				p := plan{kind: lvField, name: u.code.nameIdx(lv.Sel.Name), opndBase: u.depth}
+				u.compileExpr(lv.X)
+				u.emit(Op{Code: opFieldLVCheck, A: p.name})
+				plans = append(plans, p)
+			default:
+				u.emitFail(fmt.Sprintf("unsupported assignment target %T", target))
+				plans = append(plans, plan{kind: lvBad})
+			}
+		}
+		for i, p := range plans {
+			vd := u.at(base + i)
+			switch p.kind {
+			case lvIdent:
+				u.emit(Op{Code: opStoreNameAt, A: p.res, B: vd})
+			case lvIndex:
+				u.emit(Op{Code: opIndexSetAt, A: vd, B: u.at(p.opndBase)})
+			case lvField:
+				u.emit(Op{Code: opFieldSetAt, A: p.name, B: vd, C: u.at(p.opndBase)})
+			}
+		}
+		u.emit(Op{Code: opDropN, A: int32(u.depth - base)})
+		u.depth = base
+	default:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			u.emitFail("invalid compound assignment")
+			return
+		}
+		op, opOK := compoundOp(st.Tok)
+		u.compileLValueModify(st.Lhs[0], func() {
+			u.compileExpr(st.Rhs[0])
+			if !opOK {
+				u.emitFail(fmt.Sprintf("unsupported assignment operator %s", st.Tok))
+				u.depth-- // unreachable; keep the bookkeeping balanced
+				return
+			}
+			u.emit(Op{Code: opBinop, A: int32(op)})
+			u.depth--
+		})
+	}
+}
+
+// compileLValueModify lowers read-modify-write statements (x++ and
+// a op= b): lvalue resolution, get (a load), the modification, set (a
+// store) — exactly the tree-walker's lvalue()/get/set dance.
+func (u *unitCompiler) compileLValueModify(target ast.Expr, modify func()) {
+	target = unwrapLV(target)
+	switch lv := target.(type) {
+	case *ast.Ident:
+		if lv.Name == "_" {
+			// The blank lvalue's getter returns nil without a load and
+			// its setter discards; the modification still runs.
+			u.emit(Op{Code: opConst, A: u.code.constIdx(nil)})
+			u.depth++
+			modify()
+			u.emit(Op{Code: opDrop})
+			u.depth--
+			return
+		}
+		res := u.resolveIdx(lv.Name)
+		u.emit(Op{Code: opNameLVGet, A: res})
+		u.depth++
+		modify()
+		u.emit(Op{Code: opStoreName, A: res})
+		u.depth--
+	case *ast.IndexExpr:
+		base := u.depth
+		u.compileExpr(lv.X)
+		u.compileExpr(lv.Index)
+		u.emit(Op{Code: opIndexLVCheck})
+		u.emit(Op{Code: opIndexLVGet})
+		u.depth++
+		modify()
+		u.emit(Op{Code: opIndexSetAt, A: 0, B: u.at(base)})
+		u.emit(Op{Code: opDropN, A: 3})
+		u.depth = base
+	case *ast.SelectorExpr:
+		base := u.depth
+		name := u.code.nameIdx(lv.Sel.Name)
+		u.compileExpr(lv.X)
+		u.emit(Op{Code: opFieldLVCheck, A: name})
+		u.emit(Op{Code: opFieldLVGet, A: name})
+		u.depth++
+		modify()
+		u.emit(Op{Code: opFieldSetAt, A: name, B: 0, C: u.at(base)})
+		u.emit(Op{Code: opDropN, A: 2})
+		u.depth = base
+	default:
+		u.emitFail(fmt.Sprintf("unsupported assignment target %T", target))
+	}
+}
+
+// --- expressions ------------------------------------------------------
+
+// compileExpr lowers an expression to ops leaving exactly one value on
+// the stack, mirroring eval: calls go through the result register and
+// are checked for a single result; everything else ticks once on entry
+// (evalSingle) and then evaluates.
+func (u *unitCompiler) compileExpr(e ast.Expr) {
+	if call, ok := e.(*ast.CallExpr); ok {
+		u.compileCall(call)
+		u.emit(Op{Code: opExpect1})
+		u.depth++
+		return
+	}
+	u.emitTick(1)
+	switch ex := e.(type) {
+	case *ast.BasicLit:
+		u.compileLit(ex)
+	case *ast.Ident:
+		u.compileIdent(ex)
+	case *ast.ParenExpr:
+		u.compileExpr(ex.X)
+	case *ast.BinaryExpr:
+		u.compileBinary(ex)
+	case *ast.UnaryExpr:
+		u.compileUnary(ex)
+	case *ast.StarExpr:
+		// Reference semantics: *p is p for struct references.
+		u.compileExpr(ex.X)
+	case *ast.IndexExpr:
+		u.compileExpr(ex.X)
+		u.compileExpr(ex.Index)
+		u.emit(Op{Code: opIndex})
+		u.depth--
+	case *ast.SliceExpr:
+		u.compileSliceExpr(ex)
+	case *ast.SelectorExpr:
+		u.compileSelector(ex)
+	case *ast.CompositeLit:
+		u.compileComposite(ex)
+	case *ast.FuncLit:
+		bailf("function literal (closure) needs the tree engine")
+	default:
+		u.emitFail(fmt.Sprintf("unsupported expression %T", e))
+		u.depth++ // unreachable at run time; keep bookkeeping balanced
+	}
+}
+
+// compileLit parses the literal at compile time; a malformed literal
+// becomes a fail op with the tree-walker's message, raised only if the
+// expression is actually evaluated.
+func (u *unitCompiler) compileLit(lit *ast.BasicLit) {
+	u.depth++
+	push := func(v Value) { u.emit(Op{Code: opConst, A: u.code.constIdx(v)}) }
+	switch lit.Kind {
+	case token.INT:
+		v, err := strconv.ParseInt(lit.Value, 0, 64)
+		if err != nil {
+			u.emitFail(fmt.Sprintf("bad int literal %s", lit.Value))
+			return
+		}
+		push(v)
+	case token.FLOAT:
+		v, err := strconv.ParseFloat(lit.Value, 64)
+		if err != nil {
+			u.emitFail(fmt.Sprintf("bad float literal %s", lit.Value))
+			return
+		}
+		push(v)
+	case token.STRING:
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			u.emitFail("bad string literal")
+			return
+		}
+		push(s)
+	case token.CHAR:
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil || len(s) == 0 {
+			u.emitFail("bad rune literal")
+			return
+		}
+		push(int64([]rune(s)[0]))
+	default:
+		u.emitFail(fmt.Sprintf("unsupported literal kind %s", lit.Kind))
+	}
+}
+
+func (u *unitCompiler) compileIdent(id *ast.Ident) {
+	switch id.Name {
+	case "true":
+		u.emit(Op{Code: opConst, A: u.code.constIdx(true)})
+	case "false":
+		u.emit(Op{Code: opConst, A: u.code.constIdx(false)})
+	case "nil":
+		u.emit(Op{Code: opConst, A: u.code.constIdx(nil)})
+	default:
+		u.emit(Op{Code: opLoadName, A: u.resolveIdx(id.Name)})
+	}
+	u.depth++
+}
+
+func (u *unitCompiler) compileBinary(ex *ast.BinaryExpr) {
+	if ex.Op == token.LAND || ex.Op == token.LOR {
+		u.compileExpr(ex.X)
+		short := Op{Code: opAndShort}
+		if ex.Op == token.LOR {
+			short = Op{Code: opOrShort}
+		}
+		j := u.emitJump(short)
+		u.depth--
+		u.compileExpr(ex.Y)
+		u.emit(Op{Code: opBool})
+		u.patch(j)
+		return
+	}
+	u.compileExpr(ex.X)
+	u.compileExpr(ex.Y)
+	u.emit(Op{Code: opBinop, A: int32(ex.Op)})
+	u.depth--
+}
+
+func (u *unitCompiler) compileUnary(ex *ast.UnaryExpr) {
+	switch ex.Op {
+	case token.AND, token.ADD:
+		// &x / &T{...} and +x: reference semantics / identity.
+		u.compileExpr(ex.X)
+	case token.SUB:
+		u.compileExpr(ex.X)
+		u.emit(Op{Code: opNeg})
+	case token.NOT:
+		u.compileExpr(ex.X)
+		u.emit(Op{Code: opNot})
+	case token.XOR:
+		u.compileExpr(ex.X)
+		u.emit(Op{Code: opBitNot})
+	default:
+		u.emitFail(fmt.Sprintf("unsupported unary operator %s", ex.Op))
+		u.depth++
+	}
+}
+
+func (u *unitCompiler) compileSliceExpr(ex *ast.SliceExpr) {
+	u.compileExpr(ex.X)
+	hasLow, hasHigh := int32(0), int32(0)
+	if ex.Low != nil {
+		hasLow = 1
+		u.compileExpr(ex.Low)
+		u.emit(Op{Code: opToInt})
+	}
+	if ex.High != nil {
+		hasHigh = 1
+		u.compileExpr(ex.High)
+		u.emit(Op{Code: opToInt})
+	}
+	u.emit(Op{Code: opSliceExpr, A: hasLow, B: hasHigh})
+	u.depth -= int(hasLow + hasHigh)
+}
+
+// compileSelector lowers an rvalue selector: a package-qualified
+// intrinsic reference when the qualifier is statically unbound,
+// otherwise a struct field load or method-value bind.
+func (u *unitCompiler) compileSelector(ex *ast.SelectorExpr) {
+	if id, ok := ex.X.(*ast.Ident); ok && !u.lexicallyBound(id.Name) {
+		if _, isFn := u.c.fnIdx[id.Name]; !isFn {
+			qual := id.Name + "." + ex.Sel.Name
+			if _, ok := u.c.m.intrinsics[qual]; ok {
+				u.emit(Op{Code: opIntrFuncVal, A: u.code.nameIdx(qual)})
+				u.depth++
+				return
+			}
+		}
+	}
+	u.compileExpr(ex.X)
+	u.emit(Op{Code: opSelect, A: u.code.nameIdx(ex.Sel.Name)})
+}
+
+func (u *unitCompiler) compileComposite(ex *ast.CompositeLit) {
+	switch t := ex.Type.(type) {
+	case *ast.Ident:
+		fields, ok := u.c.m.structTypes[t.Name]
+		if !ok {
+			u.emitFail(fmt.Sprintf("unknown composite type %s", t.Name))
+			u.depth++
+			return
+		}
+		u.emit(Op{Code: opNewStruct, A: u.code.nameIdx(t.Name)})
+		u.depth++
+		for i, el := range ex.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					bailf("non-identifier struct literal key")
+				}
+				u.compileExpr(kv.Value)
+				u.emit(Op{Code: opSetField, A: u.code.nameIdx(key.Name)})
+				u.depth--
+				continue
+			}
+			if i >= len(fields) {
+				u.emitFail(fmt.Sprintf("too many values in %s literal", t.Name))
+				return
+			}
+			u.compileExpr(el)
+			u.emit(Op{Code: opSetField, A: u.code.nameIdx(fields[i])})
+			u.depth--
+		}
+	case *ast.ArrayType:
+		for _, el := range ex.Elts {
+			u.compileExpr(el)
+		}
+		u.emit(Op{Code: opMakeSliceLit, A: int32(len(ex.Elts))})
+		u.depth -= len(ex.Elts) - 1
+	case *ast.MapType:
+		u.emit(Op{Code: opNewMap})
+		u.depth++
+		for _, el := range ex.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				u.emitFail("map literal requires key:value")
+				return
+			}
+			u.compileExpr(kv.Key)
+			u.compileExpr(kv.Value)
+			u.emit(Op{Code: opMapLitSet})
+			u.depth -= 2
+		}
+	default:
+		u.emitFail(fmt.Sprintf("unsupported composite literal type %T", ex.Type))
+		u.depth++
+	}
+}
+
+// --- calls ------------------------------------------------------------
+
+// compileCall lowers a call; results land in the result register
+// (consumed by opExpect1/opExpectN or discarded), net stack depth zero.
+// The dispatch order replays evalCallMulti: builtins by name first,
+// qualified intrinsics, methods, plain identifiers, arbitrary callees.
+func (u *unitCompiler) compileCall(call *ast.CallExpr) {
+	u.emitTick(1)
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if u.compileBuiltin(id.Name, call) {
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && !u.lexicallyBound(id.Name) {
+			if _, isFn := u.c.fnIdx[id.Name]; !isFn {
+				qual := id.Name + "." + sel.Sel.Name
+				if ii, ok := u.c.intrinsic(qual); ok {
+					n := u.compileArgs(call.Args)
+					u.emit(Op{Code: opCallIntrinsic, A: ii, B: n})
+					u.dropArgs(n)
+					return
+				}
+				u.emitFail(fmt.Sprintf("unknown qualified call %s", qual))
+				return
+			}
+		}
+		// Method call: resolve the bound callee before the arguments.
+		u.compileExpr(sel.X)
+		u.emit(Op{Code: opMethodResolve, A: u.code.nameIdx(sel.Sel.Name)})
+		n := u.compileArgs(call.Args)
+		u.emit(Op{Code: opCallValue, B: n})
+		u.depth-- // the callee
+		u.dropArgs(n)
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		u.emit(Op{Code: opLoadCallee, A: u.resolveIdx(id.Name)})
+		u.depth++
+		n := u.compileArgs(call.Args)
+		u.emit(Op{Code: opCallValue, B: n})
+		u.depth--
+		u.dropArgs(n)
+		return
+	}
+	// Arbitrary callable expression: checked before the arguments run.
+	u.compileExpr(call.Fun)
+	u.emit(Op{Code: opCheckFunc})
+	n := u.compileArgs(call.Args)
+	u.emit(Op{Code: opCallValue, B: n})
+	u.depth--
+	u.dropArgs(n)
+}
+
+// compileArgs lowers call arguments: n values pushed on the stack, or
+// -1 when a single call expression fans its results out through the
+// result register (evalArgs semantics).
+func (u *unitCompiler) compileArgs(args []ast.Expr) int32 {
+	if len(args) == 1 {
+		if call, ok := args[0].(*ast.CallExpr); ok {
+			u.compileCall(call)
+			return -1
+		}
+	}
+	for _, a := range args {
+		u.compileExpr(a)
+	}
+	return int32(len(args))
+}
+
+func (u *unitCompiler) dropArgs(n int32) {
+	if n > 0 {
+		u.depth -= int(n)
+	}
+}
+
+// needArgs bails out of compilation when a builtin call would make the
+// tree-walker panic on a missing argument (a raw index panic, not a
+// RuntimeError); the tree engine then reproduces the panic exactly.
+// A single call argument fans out, so its arity is only known at run
+// time and the check is skipped.
+func (u *unitCompiler) needArgs(call *ast.CallExpr, n int) {
+	if len(call.Args) == 1 {
+		if _, ok := call.Args[0].(*ast.CallExpr); ok {
+			return
+		}
+	}
+	if len(call.Args) < n {
+		bailf("builtin call with too few arguments")
+	}
+}
+
+// compileBuiltin lowers builtins and conversions dispatched by bare
+// name (before any user binding, exactly like builtinCall). The bool
+// result reports whether name was handled.
+func (u *unitCompiler) compileBuiltin(name string, call *ast.CallExpr) bool {
+	switch name {
+	case "len", "cap":
+		u.needArgs(call, 1)
+		u.compileExpr(call.Args[0])
+		code := opLen
+		if name == "cap" {
+			code = opCap
+		}
+		u.emit(Op{Code: code})
+		u.depth--
+	case "append":
+		u.needArgs(call, 1)
+		n := u.compileArgs(call.Args)
+		u.emit(Op{Code: opAppend, B: n})
+		u.dropArgs(n)
+	case "copy":
+		u.needArgs(call, 2)
+		n := u.compileArgs(call.Args)
+		u.emit(Op{Code: opCopy, B: n})
+		u.dropArgs(n)
+	case "delete":
+		u.needArgs(call, 1)
+		n := u.compileArgs(call.Args)
+		u.emit(Op{Code: opDelete, B: n})
+		u.dropArgs(n)
+	case "make":
+		if len(call.Args) == 0 {
+			u.emitFail("make requires a type")
+			return true
+		}
+		switch call.Args[0].(type) {
+		case *ast.ArrayType:
+			hasLen := int32(0)
+			if len(call.Args) > 1 {
+				hasLen = 1
+				u.compileExpr(call.Args[1])
+				u.emit(Op{Code: opToInt})
+			}
+			u.emit(Op{Code: opMakeSlice, A: hasLen})
+			u.depth -= int(hasLen)
+		case *ast.MapType:
+			u.emit(Op{Code: opMakeMap})
+		default:
+			u.emitFail("unsupported make()")
+		}
+	case "new":
+		if len(call.Args) == 1 {
+			if id, ok := call.Args[0].(*ast.Ident); ok {
+				if _, ok := u.c.m.structTypes[id.Name]; ok {
+					u.emit(Op{Code: opNewNamed, A: u.code.nameIdx(id.Name)})
+					return true
+				}
+			}
+		}
+		u.emitFail("unsupported new()")
+	case "min", "max":
+		u.needArgs(call, 1)
+		isMax := int32(0)
+		if name == "max" {
+			isMax = 1
+		}
+		n := u.compileArgs(call.Args)
+		u.emit(Op{Code: opMin, A: isMax, B: n})
+		u.dropArgs(n)
+	case "int", "int64", "byte", "rune", "int32":
+		u.needArgs(call, 1)
+		u.compileExpr(call.Args[0])
+		u.emit(Op{Code: opToInt})
+		u.emit(Op{Code: opRes1})
+		u.depth--
+	case "float64":
+		u.needArgs(call, 1)
+		u.compileExpr(call.Args[0])
+		u.emit(Op{Code: opToFloat})
+		u.emit(Op{Code: opRes1})
+		u.depth--
+	case "string":
+		u.needArgs(call, 1)
+		u.compileExpr(call.Args[0])
+		u.emit(Op{Code: opConvStr})
+		u.emit(Op{Code: opRes1})
+		u.depth--
+	case "println", "print":
+		n := u.compileArgs(call.Args)
+		u.emit(Op{Code: opPrintln, B: n})
+		u.dropArgs(n)
+	case "panic":
+		u.needArgs(call, 1)
+		n := u.compileArgs(call.Args)
+		u.emit(Op{Code: opPanic, B: n})
+		u.dropArgs(n)
+	default:
+		return false
+	}
+	return true
+}
+
+// compileTuple lowers an expression list that must produce want values
+// (want < 0: unchecked), with single-call fan-out like evalTuple.
+func (u *unitCompiler) compileTuple(exprs []ast.Expr, want int) {
+	if len(exprs) == 0 {
+		return
+	}
+	if len(exprs) == 1 {
+		if call, ok := exprs[0].(*ast.CallExpr); ok {
+			u.compileCall(call)
+			u.emit(Op{Code: opExpectN, A: int32(want)})
+			u.depth += want
+			return
+		}
+	}
+	for _, e := range exprs {
+		u.compileExpr(e)
+	}
+	if want >= 0 && len(exprs) != want {
+		u.emitFail(fmt.Sprintf("assignment mismatch: %d values, %d targets", len(exprs), want))
+	}
+}

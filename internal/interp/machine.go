@@ -84,6 +84,9 @@ type Options struct {
 	MaxTicks uint64
 	// Output receives println output; nil discards it.
 	Output func(string)
+	// Engine overrides the engine for this run (zero value: the
+	// machine's engine, then DefaultEngine).
+	Engine Engine
 }
 
 // Machine interprets one program.
@@ -108,6 +111,13 @@ type Machine struct {
 	iter      int
 	topStmt   int
 	fnStack   []string
+
+	// bytecode engine state
+	engine  Engine
+	vmc     *vmCompiled
+	vmcErr  error
+	vmcDone bool
+	vm      *vmState
 }
 
 type funcDecl struct{ d *ast.FuncDecl }
@@ -136,6 +146,9 @@ func NewMachine(prog *source.Program) *Machine {
 func (m *Machine) RegisterIntrinsic(in Intrinsic) {
 	cp := in
 	m.intrinsics[in.Name] = &cp
+	// The compiled form binds intrinsic pointers; recompile lazily.
+	m.vmc, m.vmcErr, m.vmcDone = nil, nil, false
+	m.vm = nil
 }
 
 func (m *Machine) registerStdIntrinsics() {
@@ -263,9 +276,9 @@ func (m *Machine) store(addr uint64) {
 	}
 }
 
-// Run executes the named function with the given arguments and returns
-// its results together with the collected profile.
-func (m *Machine) Run(fnName string, args []Value, opts Options) (results []Value, prof *Profile, err error) {
+// runTree executes the named function on the reference tree-walking
+// engine (see Run in engine.go for dispatch).
+func (m *Machine) runTree(fnName string, args []Value, opts Options) (results []Value, prof *Profile, err error) {
 	fn := m.prog.Func(fnName)
 	if fn == nil {
 		return nil, nil, fmt.Errorf("interp: function %q not found", fnName)

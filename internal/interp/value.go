@@ -110,6 +110,10 @@ func (e *env) lookup(name string) *cell {
 
 func (e *env) define(name string, c *cell) { e.vars[name] = c }
 
+// FormatValue renders a value for diagnostics and differential
+// comparison (deep, deterministic: map keys are sorted).
+func FormatValue(v Value) string { return formatValue(v) }
+
 // Formatting for diagnostics and example output.
 func formatValue(v Value) string {
 	switch x := v.(type) {
