@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz faults chaos fleet vm bench bench-fleet bench-interp lint eval study examples clean
+.PHONY: all build test race fuzz faults chaos serve-chaos fleet vm bench bench-fleet bench-interp bench-serve lint eval study examples clean
 
 all: build test
 
@@ -42,6 +42,25 @@ chaos:
 	$(GO) test -race -count=1 -timeout 60s \
 		-run 'KillRestart|ServeChaos|FuzzCheckpoint|Storm|Breaker|CheckpointResume|CorruptionEveryOffset' \
 		./cmd/patty/ ./internal/jobs/ ./internal/tuning/ ./internal/checkpoint/
+
+# serve-chaos is the durable-serve gate: a `patty serve -store-dir`
+# instance SIGKILLed under concurrent multi-tenant traffic must
+# recover every acknowledged job exactly once on restart (finished
+# jobs restored from the WAL, interrupted searches resumed from their
+# snapshots); the WAL itself survives a bit-flip/truncation sweep at
+# every offset; and the multi-tenant load smoke must hold the
+# fair-share gate under -race.
+serve-chaos:
+	$(GO) test -race -count=1 -timeout 120s \
+		-run 'TrafficChaos|StoreRecovery|Quota429|TenantF|WALCorruptionEveryOffset|TornTail' \
+		./cmd/patty/ ./internal/store/ ./internal/jobs/
+	$(GO) run -race ./cmd/patty servebench -smoke
+
+# bench-serve refreshes BENCH_serve.json: the skewed multi-tenant load
+# harness (one hog tenant at 10x concurrency) against an in-process
+# `patty serve`, failing if max/min per-tenant goodput exceeds 2.0.
+bench-serve:
+	$(GO) run ./cmd/patty servebench -o BENCH_serve.json
 
 # fleet is the distributed-tuning gate: the coordinator/worker suite
 # under -race — shard partitioning, lease expiry, work stealing,

@@ -84,6 +84,8 @@ func main() {
 		err = interruptible(cmdWorker, args)
 	case "fleetbench":
 		err = interruptible(cmdFleetbench, args)
+	case "servebench":
+		err = interruptible(cmdServebench, args)
 	case "interpbench":
 		err = interruptible(cmdInterpbench, args)
 	case "help", "-h", "--help":
@@ -156,10 +158,14 @@ commands:
             detect -> transform -> execute vs the sequential oracle
             (-faults adds deterministic fault-injection legs)
   serve     [-addr host:port] [-workers n] [-queue n] [-job-timeout d]
-            [-drain-timeout d] [-checkpoint-dir dir]
+            [-drain-timeout d] [-checkpoint-dir dir] [-store-dir dir]
+            [-tenant-rate r] [-tenant-burst n]
             supervised job service over HTTP: submit tune/fuzz/study
             jobs, admission control with load shedding, graceful drain;
-            a tune job with a "workers" list runs as a fleet search
+            a tune job with a "workers" list runs as a fleet search;
+            with -store-dir the job ledger survives a kill (WAL +
+            snapshot) and tenants get fair-share dispatch with
+            per-tenant quotas (429) distinct from overload sheds (503)
   worker    [-addr host:port] [-workers n] [-queue n] [-cache-dir dir]
             [-drain-timeout d]
             fleet worker: evaluates tuning shards leased by a
@@ -168,6 +174,12 @@ commands:
   fleetbench [-counts 1,2,4] [-eval-delay ms] [-o BENCH_fleet.json]
             wall-clock baseline of the distributed search vs the local
             reference, with the determinism check inline
+  servebench [-duration d] [-clients n] [-hog-factor k] [-tenant-rate r]
+            [-smoke] [-o BENCH_serve.json]
+            multi-tenant load harness for patty serve: one hog tenant
+            at k-times the others' concurrency; records per-tenant
+            latency percentiles, goodput and 429/503 counts, and fails
+            if max/min goodput exceeds the fairness gate
   interpbench [-passes n] [-fuzz-n m] [-min-speedup x] [-o BENCH_interp.json]
             bytecode VM vs tree-walker throughput on the corpus; fails
             unless the VM reaches the -min-speedup gate

@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -16,13 +18,19 @@ import (
 	"patty/internal/jobs"
 	"patty/internal/obs"
 	"patty/internal/report"
+	"patty/internal/store"
 	"patty/internal/study"
 )
 
 // jobRequest is the POST /jobs body. Kind selects the workload; the
 // tune fields are embedded flat, fuzz and study add theirs beside it.
+// The same JSON is journaled verbatim into the -store-dir WAL, so a
+// restarted server rebuilds the identical Runner from it.
 type jobRequest struct {
-	Kind string `json:"kind"` // tune | fuzz | study
+	Kind string `json:"kind"` // tune | fuzz | study | bench
+	// Tenant attributes the job for quota and fair-share purposes; the
+	// X-Tenant header takes precedence over this field.
+	Tenant string `json:"tenant,omitempty"`
 	tuneSpec
 	// Fuzz fields.
 	Seed    int64 `json:"seed,omitempty"`
@@ -30,6 +38,8 @@ type jobRequest struct {
 	Configs int   `json:"configs,omitempty"`
 	// Study fields.
 	Measured bool `json:"measured,omitempty"`
+	// Bench fields: a calibrated no-op job for load harnesses.
+	SleepMs int64 `json:"sleep_ms,omitempty"`
 }
 
 // fuzzJobResult is the JSON result of a serve fuzz job.
@@ -55,11 +65,13 @@ func newServer(svc *jobs.Service, ckptDir string) *server {
 	return &server{svc: svc, ckptDir: ckptDir, intake: jobs.NewBreaker(3, time.Second)}
 }
 
-// runnerFor translates a validated request into the job's Runner.
-// Checkpoint paths default into -checkpoint-dir, derived from the job
-// parameters, so a resubmitted job after a crash resumes the same
-// snapshot.
-func (s *server) runnerFor(req jobRequest) (jobs.Runner, error) {
+// runnerFor translates a validated request into the job's Runner and
+// the resume-checkpoint path it will use (journaled as a
+// checkpoint-ref record). Checkpoint paths default into
+// -checkpoint-dir, derived deterministically from the job parameters,
+// so a recovered job after a crash re-attaches to the same snapshot —
+// the tuner resumes its search instead of restarting it.
+func (s *server) runnerFor(req jobRequest) (jobs.Runner, string, error) {
 	switch req.Kind {
 	case "tune":
 		spec := req.tuneSpec.withDefaults()
@@ -72,11 +84,11 @@ func (s *server) runnerFor(req jobRequest) (jobs.Runner, error) {
 			// merged result is identical to the local run's.
 			return func(ctx context.Context) (any, error) {
 				return runFleetTune(ctx, spec)
-			}, nil
+			}, spec.Checkpoint, nil
 		}
 		return func(ctx context.Context) (any, error) {
 			return runTune(ctx, spec)
-		}, nil
+		}, spec.Checkpoint, nil
 	case "fuzz":
 		seed, n := req.Seed, req.N
 		if n <= 0 {
@@ -111,7 +123,7 @@ func (s *server) runnerFor(req jobRequest) (jobs.Runner, error) {
 				res.Seeds = append(res.Seeds, d.Div.Seed)
 			}
 			return res, nil
-		}, nil
+		}, ckpt, nil
 	case "study":
 		seed, measured := req.Seed, req.Measured
 		if seed == 0 {
@@ -138,10 +150,59 @@ func (s *server) runnerFor(req jobRequest) (jobs.Runner, error) {
 				return nil, err
 			}
 			return study.Run(seed, outcome), nil
-		}, nil
+		}, ckpt, nil
+	case "bench":
+		// A calibrated sleep job: the servebench load harness measures
+		// queueing and fairness with it, without dragging tuner cost
+		// variance into the latency numbers. Honors cancellation.
+		sleep := time.Duration(req.SleepMs) * time.Millisecond
+		if sleep < 0 {
+			return nil, "", fmt.Errorf("sleep_ms must be >= 0")
+		}
+		return func(ctx context.Context) (any, error) {
+			if sleep > 0 {
+				t := time.NewTimer(sleep)
+				defer t.Stop()
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-t.C:
+				}
+			}
+			return map[string]int64{"slept_ms": sleep.Milliseconds()}, nil
+		}, "", nil
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (want tune, fuzz or study)", req.Kind)
+		return nil, "", fmt.Errorf("unknown job kind %q (want tune, fuzz, study or bench)", req.Kind)
 	}
+}
+
+// maxTenantLen bounds tenant ids; longer (or malformed) ones are 400s.
+const maxTenantLen = 64
+
+// tenantOf resolves the submission's tenant: the X-Tenant header wins
+// over the body field; absent both, jobs.DefaultTenant applies (via
+// the service). The id must be short and [A-Za-z0-9._-] so arbitrary
+// input cannot forge metric keys or bloat the store.
+func tenantOf(r *http.Request, req jobRequest) (string, error) {
+	id := r.Header.Get("X-Tenant")
+	if id == "" {
+		id = req.Tenant
+	}
+	if id == "" {
+		return "", nil
+	}
+	if len(id) > maxTenantLen {
+		return "", fmt.Errorf("tenant id longer than %d bytes", maxTenantLen)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return "", fmt.Errorf("tenant id %q: only [A-Za-z0-9._-] allowed", id)
+		}
+	}
+	return id, nil
 }
 
 // writeJSON writes v with status code (shared with the fleet intakes).
@@ -159,13 +220,41 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !fleet.DecodeJSON(w, r, fleet.MaxBodyBytes, &req) {
 		return
 	}
-	run, err := s.runnerFor(req)
+	tenant, err := tenantOf(r, req)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.svc.Submit(req.Kind, run)
+	req.Tenant = tenant
+	run, ckpt, err := s.runnerFor(req)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The canonical body — not the raw wire bytes — is journaled, so
+	// recovery decodes exactly what admission validated.
+	spec, err := json.Marshal(req)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	id, err := s.svc.SubmitJob(jobs.Submission{
+		Tenant:     tenant,
+		Kind:       req.Kind,
+		Spec:       spec,
+		Checkpoint: ckpt,
+		Run:        run,
+	})
+	var qe *jobs.QuotaError
 	switch {
+	case errors.As(err, &qe):
+		// Over-quota is the tenant's problem, not the service's: answer
+		// 429 with the (jittered) bucket-refill estimate and leave the
+		// intake breaker alone — its cooldown tracks overload, and one
+		// noisy tenant must not grow every caller's advertised backoff.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(qe.RetryAfter)))
+		jsonError(w, http.StatusTooManyRequests, err)
+		return
 	case errors.Is(err, jobs.ErrOverloaded), errors.Is(err, jobs.ErrDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(jobs.ShedRetryAfter(s.intake)))
 		jsonError(w, http.StatusServiceUnavailable, err)
@@ -176,6 +265,16 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.intake.Record(jobs.IntakeKey, false)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+// retryAfterSecs renders a duration as whole Retry-After seconds,
+// floored at 1.
+func retryAfterSecs(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -238,7 +337,20 @@ func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.svc.Jobs())
+		list := s.svc.Jobs() // accepted-seq order: stable across restarts
+		if tenant := r.URL.Query().Get("tenant"); tenant != "" {
+			filtered := list[:0]
+			for _, info := range list {
+				if info.Tenant == tenant {
+					filtered = append(filtered, info)
+				}
+			}
+			list = filtered
+		}
+		if list == nil {
+			list = []jobs.Info{}
+		}
+		writeJSON(w, http.StatusOK, list)
 	})
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
@@ -259,6 +371,7 @@ func (s *server) mux() *http.ServeMux {
 		h, _ := obs.AnalyzeService(snap)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, report.ServiceTable(h))
+		fmt.Fprint(w, report.TenantTable(obs.AnalyzeTenants(snap)))
 		if fh, ok := obs.AnalyzeFleet(snap); ok {
 			fmt.Fprint(w, report.FleetTable(fh))
 		}
@@ -267,6 +380,50 @@ func (s *server) mux() *http.ServeMux {
 		writeJSON(w, http.StatusOK, metrics.Snapshot())
 	})
 	return mux
+}
+
+// recoverJobs replays a durable store into a fresh service: terminal
+// jobs restore with their results (never to run again), acknowledged
+// but unfinished jobs re-enqueue under their original identity — tune
+// jobs re-attach to their resume checkpoints via the deterministic
+// paths runnerFor derives. Returns (restored, resumed) counts.
+func recoverJobs(svc *jobs.Service, srv *server, st *store.Store) (int, int) {
+	svc.SetNextSeq(st.MaxSeq())
+	restored, resumed := 0, 0
+	for _, js := range st.Jobs() {
+		if js.Info.Status.Finished() {
+			var result any
+			if len(js.Result) > 0 {
+				result = js.Result
+			}
+			svc.Restore(js.Info, result)
+			restored++
+			continue
+		}
+		var req jobRequest
+		var run jobs.Runner
+		var err error
+		if uerr := json.Unmarshal(js.Spec, &req); uerr != nil {
+			err = fmt.Errorf("stored spec: %w", uerr)
+		} else {
+			run, _, err = srv.runnerFor(req)
+		}
+		if err != nil {
+			// The acknowledgment stands even if the spec no longer
+			// parses: surface a terminal failure, never a silent drop.
+			info := js.Info
+			info.Status = jobs.StatusFailed
+			info.Error = "recovery: " + err.Error()
+			info.Finished = time.Now()
+			svc.Restore(info, nil)
+			restored++
+			continue
+		}
+		if rerr := svc.Resubmit(js.Info, run); rerr == nil {
+			resumed++
+		}
+	}
+	return restored, resumed
 }
 
 // cmdServe runs the supervised job service until the first
@@ -281,6 +438,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0: none)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "hard deadline for the shutdown drain")
 	ckptDir := fs.String("checkpoint-dir", "", "directory for per-job resume snapshots")
+	storeDir := fs.String("store-dir", "", "directory for the durable job store (WAL + snapshot); restarts recover acknowledged jobs")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant admission rate in jobs/s (0: unlimited); over-quota answers 429")
+	tenantBurst := fs.Int("tenant-burst", 8, "per-tenant token-bucket burst")
 	fs.Parse(args)
 
 	if *ckptDir != "" {
@@ -288,13 +448,39 @@ func cmdServe(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	svc := jobs.New(jobs.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		Collector:  metrics,
-	})
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+		defer st.Close()
+		if rec := st.Recovery(); rec.SnapshotCorrupt || rec.WALErr != "" {
+			fmt.Printf("patty serve: store repaired (snapshot corrupt: %v, wal: %q, %d byte(s) truncated)\n",
+				rec.SnapshotCorrupt, rec.WALErr, rec.WALTruncated)
+		}
+	}
+	opts := jobs.Options{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		Collector:   metrics,
+		TenantRate:  *tenantRate,
+		TenantBurst: *tenantBurst,
+	}
+	if st != nil {
+		opts.Journal = st
+	}
+	svc := jobs.New(opts)
 	srv := newServer(svc, *ckptDir)
+	if st != nil {
+		// Recovery completes before the listening banner, so a harness
+		// that saw the banner can immediately read restored state.
+		restored, resumed := recoverJobs(svc, srv, st)
+		if restored+resumed > 0 {
+			fmt.Printf("patty serve: recovered %d finished, resumed %d unfinished job(s)\n", restored, resumed)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -11,12 +11,18 @@ import (
 
 	"patty/internal/jobs"
 	"patty/internal/obs"
+	"patty/internal/ptest"
+	"patty/internal/store"
 )
 
 // newTestServer wires a server onto httptest with a tiny queue so
-// overload is easy to provoke.
+// overload is easy to provoke. Cleanups run LIFO: the leak check is
+// registered first so it runs last, after the server and service have
+// shut down and the shared client has dropped its keep-alive conns.
 func newTestServer(t *testing.T, opts jobs.Options) (*server, *httptest.Server) {
 	t.Helper()
+	t.Cleanup(ptest.NoLeaks(t))
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	if opts.Collector == nil {
 		opts.Collector = obs.New()
 	}
@@ -57,8 +63,13 @@ func TestServeSubmitStatusResult(t *testing.T) {
 		t.Fatalf("result: %+v", res.Result)
 	}
 	// Unknown id and bad kind map to 404 / 400.
-	if r, _ := http.Get(ts.URL + "/jobs/j999"); r.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown job: HTTP %d", r.StatusCode)
+	r404, err := http.Get(ts.URL + "/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d", r404.StatusCode)
 	}
 	if _, code := postJob(t, ts.URL, `{"kind":"bogus"}`); code != http.StatusBadRequest {
 		t.Fatalf("bad kind: HTTP %d", code)
@@ -147,6 +158,133 @@ func TestServeCancelAndHealth(t *testing.T) {
 	if _, code := postJob(t, ts.URL, `{"kind":"study"}`); code != http.StatusServiceUnavailable {
 		t.Fatalf("drain submit: HTTP %d, want 503", code)
 	}
+}
+
+// TestServeQuota429AndTenantFilter covers the tenant intake: a tenant
+// over its token-bucket quota gets 429 + Retry-After (not the 503 the
+// overload shed uses), other tenants are unaffected, and /jobs?tenant=
+// filters the ledger.
+func TestServeQuota429AndTenantFilter(t *testing.T) {
+	_, ts := newTestServer(t, jobs.Options{
+		Workers: 1, TenantRate: 0.001, TenantBurst: 1,
+	})
+	id, code := postJobTenant(t, ts.URL, "greedy", `{"kind":"bench","sleep_ms":1}`)
+	if code != http.StatusAccepted || id == "" {
+		t.Fatalf("first submit: HTTP %d id=%q", code, id)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs",
+		strings.NewReader(`{"kind":"bench","sleep_ms":1}`))
+	req.Header.Set("X-Tenant", "greedy")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over quota: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	// Another tenant has its own bucket.
+	if _, code := postJobTenant(t, ts.URL, "modest", `{"kind":"bench","sleep_ms":1}`); code != http.StatusAccepted {
+		t.Fatalf("other tenant: HTTP %d", code)
+	}
+	// A tenant id the header charset rejects is a 400, not a shed.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/jobs",
+		strings.NewReader(`{"kind":"bench","sleep_ms":1}`))
+	req.Header.Set("X-Tenant", "no spaces allowed")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad tenant id: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	var list []jobs.Info
+	r, err := http.Get(ts.URL + "/jobs?tenant=greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(r.Body).Decode(&list)
+	r.Body.Close()
+	if len(list) != 1 || list[0].ID != id || list[0].Tenant != "greedy" {
+		t.Fatalf("?tenant=greedy: %+v", list)
+	}
+	// A tenant with no jobs filters to an empty JSON array, not null.
+	r, err = http.Get(ts.URL + "/jobs?tenant=nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 16)
+	n, _ := r.Body.Read(body)
+	r.Body.Close()
+	if got := strings.TrimSpace(string(body[:n])); got != "[]" {
+		t.Fatalf("empty filter body = %q, want []", got)
+	}
+}
+
+// TestServeStoreRecoveryInProcess is the unit-level half of the chaos
+// gate: a journaled service is torn down (no crash needed — Close is
+// just the easy way to stop writing), its store reopened, and the
+// recovered service must list the finished job with its tenant and
+// result while new submissions continue above the old seq ceiling.
+func TestServeStoreRecoveryInProcess(t *testing.T) {
+	t.Cleanup(ptest.NoLeaks(t))
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := jobs.New(jobs.Options{Workers: 1, Collector: obs.New(), Journal: st})
+	srv := newServer(svc, "")
+	ts := httptest.NewServer(srv.mux())
+	id, code := postJobTenant(t, ts.URL, "acme", `{"kind":"bench","sleep_ms":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	r, err := http.Get(ts.URL + "/jobs/" + id + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	ts.Close()
+	svc.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	svc2 := jobs.New(jobs.Options{Workers: 1, Collector: obs.New(), Journal: st2})
+	defer svc2.Close()
+	srv2 := newServer(svc2, "")
+	restored, resumed := recoverJobs(svc2, srv2, st2)
+	if restored != 1 || resumed != 0 {
+		t.Fatalf("recovered (%d, %d), want (1, 0)", restored, resumed)
+	}
+	infos := svc2.Jobs()
+	if len(infos) != 1 || infos[0].ID != id || infos[0].Status != jobs.StatusDone ||
+		infos[0].Tenant != "acme" {
+		t.Fatalf("recovered ledger: %+v", infos)
+	}
+	ts2 := httptest.NewServer(srv2.mux())
+	defer ts2.Close()
+	id2, code := postJobTenant(t, ts2.URL, "acme", `{"kind":"bench","sleep_ms":1}`)
+	if code != http.StatusAccepted || id2 == id {
+		t.Fatalf("post-recovery submit: HTTP %d id=%q (old id %q)", code, id2, id)
+	}
+	r, err = http.Get(ts2.URL + "/jobs/" + id2 + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
 }
 
 func TestServeStatuszAndMetricz(t *testing.T) {

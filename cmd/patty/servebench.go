@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"patty/internal/jobs"
+	"patty/internal/obs"
+)
+
+// serveBenchTenant is one tenant's slice of the load-test result.
+type serveBenchTenant struct {
+	Tenant  string `json:"tenant"`
+	Clients int    `json:"clients"`
+	// Done is the tenant's goodput: jobs submitted, run and observed
+	// done by this tenant's closed-loop clients.
+	Done     int     `json:"done"`
+	Quota429 int     `json:"quota_429"`
+	Shed503  int     `json:"shed_503"`
+	Goodput  float64 `json:"goodput_per_s"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// serveBench is the BENCH_serve.json artifact: a skewed multi-tenant
+// closed-loop load test against `patty serve`, recording per-tenant
+// latency percentiles, goodput, refusal counts (quota 429 vs shed 503)
+// and the fairness ratio the ISSUE gates on.
+type serveBench struct {
+	Workers     int     `json:"workers"`
+	Queue       int     `json:"queue"`
+	DurationMs  float64 `json:"duration_ms"`
+	SleepMs     int64   `json:"job_sleep_ms"`
+	TenantRate  float64 `json:"tenant_rate_per_s"`
+	TenantBurst int     `json:"tenant_burst"`
+	HogFactor   int     `json:"hog_factor"`
+
+	Jobs         int                `json:"jobs_done"`
+	GoodputPerS  float64            `json:"goodput_per_s"`
+	Quota429     int                `json:"quota_429"`
+	Shed503      int                `json:"shed_503"`
+	Fairness     float64            `json:"fairness_max_min_goodput"`
+	FairnessGate float64            `json:"fairness_gate"`
+	Tenants      []serveBenchTenant `json:"tenants"`
+}
+
+// benchClient is one closed-loop client: submit, wait for the result,
+// repeat; on a refusal, back off briefly and retry. It accumulates its
+// own stats, merged after the run.
+type benchClient struct {
+	done      int
+	quota429  int
+	shed503   int
+	latencies []time.Duration
+}
+
+// runBenchClient drives one client until the deadline.
+func runBenchClient(ctx context.Context, hc *http.Client, base, tenant string, sleepMs int64, rng *rand.Rand) benchClient {
+	var st benchClient
+	body := fmt.Sprintf(`{"kind":"bench","sleep_ms":%d}`, sleepMs)
+	for ctx.Err() == nil {
+		t0 := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/jobs", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return st
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := hc.Do(req)
+		if err != nil {
+			return st // deadline hit mid-request
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			wreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+out.ID+"?wait=1", nil)
+			if err != nil {
+				return st
+			}
+			wresp, err := hc.Do(wreq)
+			if err != nil {
+				return st
+			}
+			var info jobs.Info
+			json.NewDecoder(wresp.Body).Decode(&info)
+			wresp.Body.Close()
+			if info.Status == jobs.StatusDone {
+				st.done++
+				st.latencies = append(st.latencies, time.Since(t0))
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if resp.StatusCode == http.StatusTooManyRequests {
+				st.quota429++
+			} else {
+				st.shed503++
+			}
+			// The advertised Retry-After is whole seconds — honest for
+			// production clients, far too coarse for a seconds-long
+			// bench. Back off a short jittered beat instead; the refusal
+			// counts are what the artifact records.
+			select {
+			case <-ctx.Done():
+				return st
+			case <-time.After(time.Duration(1+rng.Intn(5)) * time.Millisecond):
+			}
+		default:
+			return st
+		}
+	}
+	return st
+}
+
+// quantileMs picks a quantile from sorted client-side latencies.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Microseconds()) / 1e3
+}
+
+// cmdServebench is the serve-layer load harness behind `make
+// bench-serve`: an in-process `patty serve` instance under a skewed
+// closed-loop tenant mix (one hog offering -hog-factor times the
+// others' concurrency at equal weights), proving the fair-share
+// dispatcher keeps per-tenant goodput within the gate while the quota
+// and shed paths answer 429/503.
+func cmdServebench(ctx context.Context, args []string) error {
+	fs := newFlagSet("servebench")
+	workers := fs.Int("workers", 4, "serve worker-pool size")
+	queue := fs.Int("queue", 64, "serve admission-queue bound")
+	duration := fs.Duration("duration", 4*time.Second, "load duration")
+	sleepMs := fs.Int64("sleep-ms", 5, "per-job simulated work")
+	tenants := fs.Int("tenants", 3, "number of well-behaved tenants")
+	clients := fs.Int("clients", 3, "closed-loop clients per well-behaved tenant")
+	hogFactor := fs.Int("hog-factor", 10, "hog concurrency = hog-factor * clients")
+	tenantRate := fs.Float64("tenant-rate", 300, "per-tenant quota in jobs/s (0: unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 16, "per-tenant token-bucket burst")
+	maxFairness := fs.Float64("max-fairness", 2.0, "fail above this max/min per-tenant goodput (0: no gate)")
+	smoke := fs.Bool("smoke", false, "short CI pass: 800ms, small client mix")
+	outPath := fs.String("o", "", "also write the JSON artifact to this file")
+	fs.Parse(args)
+	if *smoke {
+		*duration = 800 * time.Millisecond
+		*clients = 2
+		*hogFactor = 5
+	}
+
+	// In-process serve instance, isolated collector.
+	collector := obs.New()
+	svc := jobs.New(jobs.Options{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Collector:   collector,
+		TenantRate:  *tenantRate,
+		TenantBurst: *tenantBurst,
+	})
+	srv := newServer(svc, "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv.mux()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		hs.Close()
+		svc.Close()
+	}()
+
+	// Tenant mix: t1..tN at -clients each, plus one hog at
+	// hog-factor * clients. Equal weights: fairness must come from the
+	// dispatcher, not from configuration.
+	type tenantPlan struct {
+		name    string
+		clients int
+	}
+	var plan []tenantPlan
+	for i := 1; i <= *tenants; i++ {
+		plan = append(plan, tenantPlan{fmt.Sprintf("t%d", i), *clients})
+	}
+	plan = append(plan, tenantPlan{"hog", *hogFactor * *clients})
+
+	lctx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	defer hc.CloseIdleConnections()
+
+	var mu sync.Mutex
+	merged := make(map[string]*benchClient)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for _, tp := range plan {
+		merged[tp.name] = &benchClient{}
+		for c := 0; c < tp.clients; c++ {
+			wg.Add(1)
+			go func(tenant string, seed int64) {
+				defer wg.Done()
+				st := runBenchClient(lctx, hc, base, tenant, *sleepMs, rand.New(rand.NewSource(seed)))
+				mu.Lock()
+				agg := merged[tenant]
+				agg.done += st.done
+				agg.quota429 += st.quota429
+				agg.shed503 += st.shed503
+				agg.latencies = append(agg.latencies, st.latencies...)
+				mu.Unlock()
+			}(tp.name, int64(len(plan)*100+c))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	bench := serveBench{
+		Workers: *workers, Queue: *queue,
+		DurationMs: float64(elapsed.Microseconds()) / 1e3,
+		SleepMs:    *sleepMs, TenantRate: *tenantRate, TenantBurst: *tenantBurst,
+		HogFactor: *hogFactor, FairnessGate: *maxFairness,
+	}
+	var minDone, maxDone int
+	for _, tp := range plan {
+		agg := merged[tp.name]
+		sort.Slice(agg.latencies, func(i, k int) bool { return agg.latencies[i] < agg.latencies[k] })
+		tb := serveBenchTenant{
+			Tenant: tp.name, Clients: tp.clients,
+			Done: agg.done, Quota429: agg.quota429, Shed503: agg.shed503,
+			Goodput: float64(agg.done) / elapsed.Seconds(),
+			P50Ms:   quantileMs(agg.latencies, 0.50),
+			P95Ms:   quantileMs(agg.latencies, 0.95),
+			P99Ms:   quantileMs(agg.latencies, 0.99),
+		}
+		if n := len(agg.latencies); n > 0 {
+			tb.MaxMs = float64(agg.latencies[n-1].Microseconds()) / 1e3
+		}
+		bench.Tenants = append(bench.Tenants, tb)
+		bench.Jobs += agg.done
+		bench.Quota429 += agg.quota429
+		bench.Shed503 += agg.shed503
+		if agg.done > maxDone {
+			maxDone = agg.done
+		}
+		if minDone == 0 || agg.done < minDone {
+			minDone = agg.done
+		}
+		fmt.Printf("%-8s %3d client(s): %5d done (%.0f/s), %d x 429, %d x 503, p50 %.1f ms, p95 %.1f ms\n",
+			tp.name, tp.clients, tb.Done, tb.Goodput, tb.Quota429, tb.Shed503, tb.P50Ms, tb.P95Ms)
+	}
+	bench.GoodputPerS = float64(bench.Jobs) / elapsed.Seconds()
+	if minDone > 0 {
+		bench.Fairness = float64(maxDone) / float64(minDone)
+	}
+	fmt.Printf("total: %d jobs in %.0f ms (%.0f/s), fairness max/min = %.2f\n",
+		bench.Jobs, bench.DurationMs, bench.GoodputPerS, bench.Fairness)
+
+	// Cross-check the client view against the server's own digest.
+	ths := obs.AnalyzeTenants(collector.Snapshot())
+	if ratio := obs.FairnessRatio(ths); ratio > 0 {
+		fmt.Printf("server-side fairness (obs.AnalyzeTenants): %.2f across %d tenant(s)\n", ratio, len(ths))
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if *maxFairness > 0 {
+		if bench.Fairness == 0 {
+			return fmt.Errorf("fairness unmeasurable: some tenant finished zero jobs")
+		}
+		if bench.Fairness > *maxFairness {
+			return fmt.Errorf("fairness gate failed: max/min goodput %.2f > %.2f", bench.Fairness, *maxFairness)
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -53,6 +54,7 @@ type Breaker struct {
 
 	mu      sync.Mutex
 	entries map[string]*breakerEntry
+	jit     *rand.Rand // Retry-After jitter; guarded by mu
 
 	trips         *obs.Counter
 	shortCircuits *obs.Counter
@@ -191,14 +193,15 @@ const IntakeKey = "intake"
 
 // ShedRetryAfter drives an intake breaker through one shed admission
 // and returns the advisory Retry-After in whole seconds: the breaker's
-// remaining cooldown, floored at one second. Repeated shed storms trip
-// the breaker and double the cooldown through its half-open probes, so
-// the advertised backoff grows while the overload persists; the first
-// accepted submission (Record(IntakeKey, false)) resets it.
+// remaining cooldown, jittered ±25% (see Jitter) and floored at one
+// second. Repeated shed storms trip the breaker and double the cooldown
+// through its half-open probes, so the advertised backoff grows while
+// the overload persists; the first accepted submission
+// (Record(IntakeKey, false)) resets it.
 func ShedRetryAfter(b *Breaker) int {
 	b.Allow(IntakeKey) // advance Open -> HalfOpen when the cooldown elapsed
 	b.Record(IntakeKey, true)
-	secs := int(math.Ceil(b.RetryAfter(IntakeKey).Seconds()))
+	secs := int(math.Ceil(b.jitter(b.RetryAfter(IntakeKey)).Seconds()))
 	if secs < 1 {
 		secs = 1
 	}

@@ -1,0 +1,37 @@
+package jobs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter spreads a retry hint multiplicatively across [0.75d, 1.25d).
+// Every refusal path (quota 429, shed 503, breaker cooldown) runs its
+// advice through this so a crowd of synchronized clients — all refused
+// in the same instant, all told the same Retry-After — does not come
+// back as one thundering herd. The caller owns rng and its locking; a
+// fixed seed makes the sequence deterministic for tests.
+func Jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 0 || rng == nil {
+		return d
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+}
+
+// SeedJitter makes the breaker's Retry-After jitter deterministic
+// (tests). Unseeded breakers lazily self-seed from the clock.
+func (b *Breaker) SeedJitter(seed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.jit = rand.New(rand.NewSource(seed))
+}
+
+// jitter applies Jitter under b.mu.
+func (b *Breaker) jitter(d time.Duration) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.jit == nil {
+		b.jit = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return Jitter(b.jit, d)
+}

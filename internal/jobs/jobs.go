@@ -1,17 +1,21 @@
 // Package jobs is the supervision layer that turns patty's one-shot
 // detect/tune/fuzz entry points into a service: a bounded admission
-// queue with load shedding, a fixed worker pool whose crashed workers
-// a supervisor restarts with exponential backoff, per-job deadlines
-// and cancellation, and a circuit breaker (breaker.go) that
-// quarantines tuning configurations whose runs repeatedly fault.
-// `patty serve` exposes this over HTTP; every queue/latency/restart
-// signal is published through internal/obs.
+// queue with load shedding, per-tenant token-bucket quotas and a
+// weighted fair-share dispatcher (tenant.go), a fixed worker pool whose
+// crashed workers a supervisor restarts with exponential backoff,
+// per-job deadlines and cancellation, a circuit breaker (breaker.go)
+// that quarantines tuning configurations whose runs repeatedly fault,
+// and an optional durable Journal (internal/store) that makes every
+// acknowledged job survive a crash. `patty serve` exposes this over
+// HTTP; every queue/latency/restart signal is published through
+// internal/obs.
 package jobs
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -30,6 +34,9 @@ var (
 	ErrUnknownJob = errors.New("jobs: unknown job id")
 	// ErrNotFinished reports a result request for a still-running job.
 	ErrNotFinished = errors.New("jobs: job not finished")
+	// ErrDuplicateJob reports a Resubmit of an id the service already
+	// tracks — recovery must never double-run one acknowledgment.
+	ErrDuplicateJob = errors.New("jobs: duplicate job id")
 )
 
 // Status is a job's lifecycle phase.
@@ -61,13 +68,60 @@ type Runner func(ctx context.Context) (any, error)
 
 // Info is the externally visible state of a job.
 type Info struct {
-	ID        string    `json:"id"`
-	Kind      string    `json:"kind"`
-	Status    Status    `json:"status"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Status Status `json:"status"`
+	// Tenant is the submitting tenant (DefaultTenant when anonymous).
+	Tenant string `json:"tenant,omitempty"`
+	// Seq is the admission sequence number: the stable total order of
+	// acknowledged submissions, preserved across restarts by the
+	// Journal. GET /jobs sorts by it.
+	Seq       int64     `json:"seq,omitempty"`
 	Error     string    `json:"error,omitempty"`
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`
 	Finished  time.Time `json:"finished"`
+}
+
+// Journal is the durability hook of the service: when non-nil, the
+// service writes one record per lifecycle edge and never acknowledges
+// a submission whose accepted record did not persist. internal/store
+// implements it with a write-ahead log + snapshot. Methods are called
+// outside the service mutex; JobAccepted's error fails the submission,
+// the others are advisory (counted in jobs.journal.errors).
+type Journal interface {
+	// JobAccepted persists an admitted job before the caller gets its
+	// id. spec is the opaque submission body a restarted service
+	// rebuilds the Runner from.
+	JobAccepted(info Info, spec []byte) error
+	// JobCheckpoint records the resume-journal path of a job, so a
+	// restarted service re-attaches the job to its tuning.Checkpointer
+	// snapshot instead of starting the search over.
+	JobCheckpoint(id, path string) error
+	// JobStarted records dispatch (diagnostic; recovery re-runs
+	// accepted-but-unfinalized jobs either way).
+	JobStarted(id string) error
+	// JobFinalized persists the terminal state and result. It is
+	// called before the result becomes observable, which is what makes
+	// results exactly-once across a crash.
+	JobFinalized(info Info, result any) error
+}
+
+// Submission is one admission request. The zero value of the optional
+// fields matches the legacy Submit(kind, run) behavior.
+type Submission struct {
+	// Tenant attributes the job for quota and fair-share purposes
+	// (empty: DefaultTenant).
+	Tenant string
+	// Kind is the workload label (tune | fuzz | study | bench ...).
+	Kind string
+	// Spec is the opaque request body journaled for crash recovery.
+	Spec []byte
+	// Checkpoint is the job's resume-journal path, journaled as a
+	// checkpoint-ref record.
+	Checkpoint string
+	// Run executes the job.
+	Run Runner
 }
 
 // job is the internal record.
@@ -82,12 +136,13 @@ type job struct {
 }
 
 // Options configures a Service. The zero value is usable: 2 workers,
-// queue depth 16, no per-job deadline, metrics discarded.
+// queue depth 16, no per-job deadline, no quotas, metrics discarded.
 type Options struct {
 	// Workers is the worker-pool size (default 2).
 	Workers int
-	// QueueDepth bounds the admission queue (default 16). A full
-	// queue sheds new submissions with ErrOverloaded.
+	// QueueDepth bounds the admission queue across all tenants
+	// (default 16). A full queue sheds new submissions with
+	// ErrOverloaded.
 	QueueDepth int
 	// JobTimeout, when positive, is the per-job deadline; an expired
 	// job is canceled and reported StatusCanceled.
@@ -98,6 +153,18 @@ type Options struct {
 	// restart backoff after a worker crash (defaults 10ms / 1s).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// TenantRate, when positive, is each tenant's admission token
+	// refill rate in submissions per second; an empty bucket refuses
+	// with *QuotaError (HTTP 429). 0 disables quotas.
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity (default 8).
+	TenantBurst int
+	// TenantWeights sets per-tenant fair-share weights (default 1
+	// each): a weight-2 tenant is served twice as often as a weight-1
+	// tenant while both are backlogged.
+	TenantWeights map[string]int
+	// Journal, when non-nil, makes the service durable (see Journal).
+	Journal Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -118,28 +185,38 @@ func (o Options) withDefaults() Options {
 
 // Service is the supervised job runner.
 type Service struct {
-	opts  Options
-	queue chan *job
-	stop  chan struct{} // closed by Close/Drain deadline: stop restarts
+	opts Options
+	stop chan struct{} // closed by Close/Drain deadline: stop restarts
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	nextID   int
-	draining bool
-	closed   bool
+	mu          sync.Mutex
+	cond        *sync.Cond // signaled on enqueue, broadcast on drain
+	jobs        map[string]*job
+	tenants     map[string]*tenantState
+	pending     int     // queued (not yet dispatched) jobs, all tenants
+	vnow        float64 // fair-share virtual time high-water mark
+	nextSeq     int64
+	queueClosed bool // drain started: dispatch the backlog, admit nothing
+	draining    bool
+	closed      bool
+	now         func() time.Time
+	jit         *rand.Rand // Retry-After jitter; guarded by mu
 
 	workers sync.WaitGroup
 
-	queueDepth *obs.Gauge
-	running    *obs.Gauge
-	submitted  *obs.Counter
-	shed       *obs.Counter
-	doneCnt    *obs.Counter
-	failedCnt  *obs.Counter
-	cancelCnt  *obs.Counter
-	restarts   *obs.Counter
-	latency    *obs.Histogram
-	runTime    *obs.Histogram
+	queueDepth  *obs.Gauge
+	running     *obs.Gauge
+	submitted   *obs.Counter
+	shed        *obs.Counter
+	quotaCnt    *obs.Counter
+	restored    *obs.Counter
+	resubmitted *obs.Counter
+	journalErr  *obs.Counter
+	doneCnt     *obs.Counter
+	failedCnt   *obs.Counter
+	cancelCnt   *obs.Counter
+	restarts    *obs.Counter
+	latency     *obs.Histogram
+	runTime     *obs.Histogram
 }
 
 // New starts a Service with opts.Workers supervised workers.
@@ -147,21 +224,28 @@ func New(opts Options) *Service {
 	opts = opts.withDefaults()
 	c := opts.Collector
 	s := &Service{
-		opts:       opts,
-		queue:      make(chan *job, opts.QueueDepth),
-		stop:       make(chan struct{}),
-		jobs:       make(map[string]*job),
-		queueDepth: c.Gauge("jobs.queue.depth"),
-		running:    c.Gauge("jobs.running"),
-		submitted:  c.Counter("jobs.submitted"),
-		shed:       c.Counter("jobs.shed"),
-		doneCnt:    c.Counter("jobs.done"),
-		failedCnt:  c.Counter("jobs.failed"),
-		cancelCnt:  c.Counter("jobs.canceled"),
-		restarts:   c.Counter("jobs.worker.restarts"),
-		latency:    c.Histogram("jobs.latency_ns"),
-		runTime:    c.Histogram("jobs.run_ns"),
+		opts:        opts,
+		stop:        make(chan struct{}),
+		jobs:        make(map[string]*job),
+		tenants:     make(map[string]*tenantState),
+		now:         time.Now,
+		jit:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		queueDepth:  c.Gauge("jobs.queue.depth"),
+		running:     c.Gauge("jobs.running"),
+		submitted:   c.Counter("jobs.submitted"),
+		shed:        c.Counter("jobs.shed"),
+		quotaCnt:    c.Counter("jobs.quota_denied"),
+		restored:    c.Counter("jobs.restored"),
+		resubmitted: c.Counter("jobs.resubmitted"),
+		journalErr:  c.Counter("jobs.journal.errors"),
+		doneCnt:     c.Counter("jobs.done"),
+		failedCnt:   c.Counter("jobs.failed"),
+		cancelCnt:   c.Counter("jobs.canceled"),
+		restarts:    c.Counter("jobs.worker.restarts"),
+		latency:     c.Histogram("jobs.latency_ns"),
+		runTime:     c.Histogram("jobs.run_ns"),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	c.Gauge("jobs.queue.cap").Set(int64(opts.QueueDepth))
 	c.Gauge("jobs.workers").Set(int64(opts.Workers))
 	for i := 0; i < opts.Workers; i++ {
@@ -171,39 +255,139 @@ func New(opts Options) *Service {
 	return s
 }
 
-// Submit admits a job, or sheds it. Admission control is strictly
-// non-blocking: a full queue answers ErrOverloaded immediately, never
-// queues the caller.
+// SeedJitter makes the Retry-After jitter deterministic (tests).
+func (s *Service) SeedJitter(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jit = rand.New(rand.NewSource(seed))
+}
+
+// Submit admits an anonymous job under DefaultTenant. See SubmitJob.
 func (s *Service) Submit(kind string, run Runner) (string, error) {
+	return s.SubmitJob(Submission{Kind: kind, Run: run})
+}
+
+// SubmitJob admits a job, or refuses it. Admission is strictly
+// non-blocking and checked in order: a tenant with an empty token
+// bucket gets a *QuotaError (429 — the tenant is the problem), a full
+// shared queue answers ErrOverloaded (503 — the service is the
+// problem). When a Journal is configured, the accepted record persists
+// before the id is returned, so every acknowledgment survives a crash.
+func (s *Service) SubmitJob(sub Submission) (string, error) {
 	s.mu.Lock()
 	if s.draining || s.closed {
 		s.mu.Unlock()
 		return "", ErrDraining
 	}
-	s.nextID++
-	j := &job{
-		info: Info{
-			ID:        fmt.Sprintf("j%d", s.nextID),
-			Kind:      kind,
-			Status:    StatusQueued,
-			Submitted: time.Now(),
-		},
-		run:  run,
-		done: make(chan struct{}),
+	tn := s.tenantLocked(sub.Tenant)
+	if wait, ok := tn.bucket.available(s.now()); !ok {
+		wait = Jitter(s.jit, wait)
+		s.mu.Unlock()
+		tn.mQuota.Inc()
+		s.quotaCnt.Inc()
+		return "", &QuotaError{Tenant: tn.id, RetryAfter: wait}
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.info.ID] = j
+	if s.pending >= s.opts.QueueDepth {
 		s.mu.Unlock()
-		s.submitted.Inc()
-		s.queueDepth.Set(int64(len(s.queue)))
-		return j.info.ID, nil
-	default:
-		// Undo the id so shed submissions leave no trace.
-		s.nextID--
-		s.mu.Unlock()
+		tn.mShed.Inc()
 		s.shed.Inc()
 		return "", ErrOverloaded
+	}
+	tn.bucket.take()
+	s.nextSeq++
+	j := &job{
+		info: Info{
+			ID:        fmt.Sprintf("j%d", s.nextSeq),
+			Kind:      sub.Kind,
+			Status:    StatusQueued,
+			Tenant:    tn.id,
+			Seq:       s.nextSeq,
+			Submitted: s.now(),
+		},
+		run:  sub.Run,
+		done: make(chan struct{}),
+	}
+	s.mu.Unlock()
+
+	// Durability before acknowledgment: an accepted record that cannot
+	// be journaled fails the submission instead of promising work a
+	// crash would forget.
+	if s.opts.Journal != nil {
+		if err := s.opts.Journal.JobAccepted(j.info, sub.Spec); err != nil {
+			s.journalErr.Inc()
+			return "", fmt.Errorf("jobs: journal accept: %w", err)
+		}
+		if sub.Checkpoint != "" {
+			if err := s.opts.Journal.JobCheckpoint(j.info.ID, sub.Checkpoint); err != nil {
+				s.journalErr.Inc()
+			}
+		}
+	}
+
+	s.mu.Lock()
+	if s.queueClosed {
+		// Drain raced the journal write: the accepted record exists, so
+		// finalize the job as canceled (journaled too) rather than
+		// leaving a ghost acknowledgment for the next restart to re-run.
+		s.mu.Unlock()
+		s.finalizeUnstarted(j, tn, "canceled: service draining")
+		return "", ErrDraining
+	}
+	s.enqueueLocked(tn, j)
+	s.mu.Unlock()
+	s.submitted.Inc()
+	tn.mSubmitted.Inc()
+	return j.info.ID, nil
+}
+
+// Restore installs a job recovered in a terminal state: its result is
+// immediately observable and it will never run again (exactly-once).
+func (s *Service) Restore(info Info, result any) {
+	j := &job{info: info, result: result, done: make(chan struct{})}
+	close(j.done)
+	s.mu.Lock()
+	s.jobs[info.ID] = j
+	if info.Seq > s.nextSeq {
+		s.nextSeq = info.Seq
+	}
+	s.mu.Unlock()
+	s.restored.Inc()
+}
+
+// Resubmit re-enqueues a recovered, acknowledged-but-unfinished job
+// under its original identity. It bypasses quota and queue-depth
+// admission — the acknowledgment already happened, possibly in a
+// previous process — and does not journal a second accepted record.
+func (s *Service) Resubmit(info Info, run Runner) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return ErrDraining
+	}
+	if _, dup := s.jobs[info.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateJob, info.ID)
+	}
+	info.Status = StatusQueued
+	info.Started = time.Time{}
+	info.Finished = time.Time{}
+	info.Error = ""
+	j := &job{info: info, run: run, done: make(chan struct{})}
+	tn := s.tenantLocked(info.Tenant)
+	s.enqueueLocked(tn, j)
+	if info.Seq > s.nextSeq {
+		s.nextSeq = info.Seq
+	}
+	s.resubmitted.Inc()
+	return nil
+}
+
+// SetNextSeq raises the admission sequence floor so new ids never
+// collide with recovered ones.
+func (s *Service) SetNextSeq(seq int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.nextSeq {
+		s.nextSeq = seq
 	}
 }
 
@@ -216,7 +400,7 @@ func (s *Service) supervise(slot int) {
 	for {
 		crashed := s.worker()
 		if !crashed {
-			return // queue closed: clean shutdown
+			return // backlog drained and queue closed: clean shutdown
 		}
 		s.restarts.Inc()
 		select {
@@ -231,10 +415,11 @@ func (s *Service) supervise(slot int) {
 	}
 }
 
-// worker drains the queue until it is closed (returns false) or a job
-// panic crashes it (returns true). The in-flight job is finalized as
-// failed before the crash propagates to the supervisor, so a panicking
-// runner costs its own job and a restart delay — never the service.
+// worker dispatches fair-share-picked jobs until the queue closes and
+// empties (returns false) or a job panic crashes it (returns true).
+// The in-flight job is finalized as failed before the crash propagates
+// to the supervisor, so a panicking runner costs its own job and a
+// restart delay — never the service.
 func (s *Service) worker() (crashed bool) {
 	var current *job
 	defer func() {
@@ -245,8 +430,11 @@ func (s *Service) worker() (crashed bool) {
 			crashed = true
 		}
 	}()
-	for j := range s.queue {
-		s.queueDepth.Set(int64(len(s.queue)))
+	for {
+		j := s.next()
+		if j == nil {
+			return false
+		}
 		if !s.start(j) {
 			continue // canceled while queued
 		}
@@ -255,7 +443,22 @@ func (s *Service) worker() (crashed bool) {
 		s.finish(j, res, err)
 		current = nil
 	}
-	return false
+}
+
+// next blocks until a job is dispatchable (weighted fair-share pick)
+// or the closed queue has fully drained (nil).
+func (s *Service) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.pending > 0 {
+			return s.dequeueLocked()
+		}
+		if s.queueClosed {
+			return nil
+		}
+		s.cond.Wait()
+	}
 }
 
 // jobContext returns the context the runner was armed with.
@@ -278,20 +481,28 @@ func (s *Service) start(j *job) bool {
 		j.ctx, j.cancel = context.WithCancel(context.Background())
 	}
 	j.info.Status = StatusRunning
-	j.info.Started = time.Now()
+	j.info.Started = s.now()
+	id := j.info.ID
 	j.mu.Unlock()
 	s.running.Add(1)
+	if s.opts.Journal != nil {
+		if err := s.opts.Journal.JobStarted(id); err != nil {
+			s.journalErr.Inc()
+		}
+	}
 	return true
 }
 
-// finish finalizes a job in any terminal state and publishes metrics.
+// finish finalizes a job in any terminal state, journals the terminal
+// record, and only then makes the result observable — the order that
+// gives exactly-once results across a crash.
 func (s *Service) finish(j *job, res any, err error) {
 	j.mu.Lock()
 	if j.info.Status.Finished() {
 		j.mu.Unlock()
 		return
 	}
-	now := time.Now()
+	now := s.now()
 	j.info.Finished = now
 	canceled := j.ctx != nil && j.ctx.Err() != nil
 	switch {
@@ -308,23 +519,64 @@ func (s *Service) finish(j *job, res any, err error) {
 	if j.cancel != nil {
 		j.cancel()
 	}
-	status := j.info.Status
-	started, submitted := j.info.Started, j.info.Submitted
+	info := j.info
 	j.mu.Unlock()
 
+	if s.opts.Journal != nil {
+		var jres any
+		if info.Status == StatusDone {
+			jres = res
+		}
+		if jerr := s.opts.Journal.JobFinalized(info, jres); jerr != nil {
+			s.journalErr.Inc()
+		}
+	}
+
 	s.running.Add(-1)
-	switch status {
+	s.mu.Lock()
+	tn := s.tenantLocked(info.Tenant)
+	s.mu.Unlock()
+	switch info.Status {
 	case StatusDone:
 		s.doneCnt.Inc()
+		tn.mDone.Inc()
 	case StatusCanceled:
 		s.cancelCnt.Inc()
+		tn.mCanceled.Inc()
 	default:
 		s.failedCnt.Inc()
+		tn.mFailed.Inc()
 	}
-	s.latency.Record(now.Sub(submitted).Nanoseconds())
-	if !started.IsZero() {
-		s.runTime.Record(now.Sub(started).Nanoseconds())
+	s.latency.Record(info.Finished.Sub(info.Submitted).Nanoseconds())
+	tn.mLatency.Record(info.Finished.Sub(info.Submitted).Nanoseconds())
+	if !info.Started.IsZero() {
+		s.runTime.Record(info.Finished.Sub(info.Started).Nanoseconds())
 	}
+	close(j.done)
+}
+
+// finalizeUnstarted finalizes a job that never reached the queue or
+// was canceled while queued, journaling the terminal record.
+func (s *Service) finalizeUnstarted(j *job, tn *tenantState, reason string) {
+	j.mu.Lock()
+	if j.info.Status.Finished() {
+		j.mu.Unlock()
+		return
+	}
+	j.info.Status = StatusCanceled
+	j.info.Error = reason
+	j.info.Finished = s.now()
+	info := j.info
+	j.mu.Unlock()
+	if s.opts.Journal != nil {
+		if err := s.opts.Journal.JobFinalized(info, nil); err != nil {
+			s.journalErr.Inc()
+		}
+	}
+	s.cancelCnt.Inc()
+	tn.mCanceled.Inc()
+	s.latency.Record(info.Finished.Sub(info.Submitted).Nanoseconds())
+	tn.mLatency.Record(info.Finished.Sub(info.Submitted).Nanoseconds())
 	close(j.done)
 }
 
@@ -375,12 +627,12 @@ func (s *Service) Cancel(id string) error {
 	j.mu.Lock()
 	switch {
 	case j.info.Status == StatusQueued:
-		j.info.Status = StatusCanceled
-		j.info.Error = "canceled while queued"
-		j.info.Finished = time.Now()
+		tenant := j.info.Tenant
 		j.mu.Unlock()
-		s.cancelCnt.Inc()
-		close(j.done)
+		s.mu.Lock()
+		tn := s.tenantLocked(tenant)
+		s.mu.Unlock()
+		s.finalizeUnstarted(j, tn, "canceled while queued")
 	case j.info.Status == StatusRunning:
 		cancel := j.cancel
 		j.mu.Unlock()
@@ -407,7 +659,8 @@ func (s *Service) Wait(ctx context.Context, id string) (Info, error) {
 	}
 }
 
-// Jobs lists a snapshot of every job's Info, newest submission first.
+// Jobs lists a snapshot of every job's Info in accepted-seq order —
+// the stable total admission order, preserved across restarts.
 func (s *Service) Jobs() []Info {
 	s.mu.Lock()
 	js := make([]*job, 0, len(s.jobs))
@@ -422,10 +675,10 @@ func (s *Service) Jobs() []Info {
 		j.mu.Unlock()
 	}
 	sort.Slice(out, func(i, k int) bool {
-		if !out[i].Submitted.Equal(out[k].Submitted) {
-			return out[i].Submitted.After(out[k].Submitted)
+		if out[i].Seq != out[k].Seq {
+			return out[i].Seq < out[k].Seq
 		}
-		return out[i].ID > out[k].ID
+		return out[i].ID < out[k].ID
 	})
 	return out
 }
@@ -448,12 +701,10 @@ func (s *Service) Drain(ctx context.Context) error {
 		s.mu.Unlock()
 		return nil
 	}
-	alreadyDraining := s.draining
 	s.draining = true
+	s.queueClosed = true
+	s.cond.Broadcast()
 	s.mu.Unlock()
-	if !alreadyDraining {
-		close(s.queue) // Submit checks draining under s.mu before sending
-	}
 
 	finished := make(chan struct{})
 	go func() {

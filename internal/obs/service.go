@@ -8,6 +8,10 @@ package obs
 //	jobs.workers               gauge    (worker-pool size)
 //	jobs.submitted             counter  (admitted jobs)
 //	jobs.shed                  counter  (submissions refused: overload)
+//	jobs.quota_denied          counter  (submissions refused: tenant over quota)
+//	jobs.restored              counter  (terminal jobs recovered from the store)
+//	jobs.resubmitted           counter  (unfinished jobs re-enqueued from the store)
+//	jobs.journal.errors        counter  (advisory journal writes that failed)
 //	jobs.done                  counter
 //	jobs.failed                counter
 //	jobs.canceled              counter
@@ -30,11 +34,15 @@ type ServiceHealth struct {
 	Running    int64 `json:"running"`
 	Workers    int64 `json:"workers"`
 
-	Submitted int64 `json:"submitted"`
-	Shed      int64 `json:"shed"`
-	Done      int64 `json:"done"`
-	Failed    int64 `json:"failed"`
-	Canceled  int64 `json:"canceled"`
+	Submitted   int64 `json:"submitted"`
+	Shed        int64 `json:"shed"`
+	QuotaDenied int64 `json:"quota_denied"`
+	Restored    int64 `json:"restored"`
+	Resubmitted int64 `json:"resubmitted"`
+	JournalErrs int64 `json:"journal_errors"`
+	Done        int64 `json:"done"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
 
 	WorkerRestarts int64 `json:"worker_restarts"`
 
@@ -57,6 +65,10 @@ func AnalyzeService(s Snapshot) (h ServiceHealth, ok bool) {
 		Workers:              s.Gauges["jobs.workers"],
 		Submitted:            s.Counters["jobs.submitted"],
 		Shed:                 s.Counters["jobs.shed"],
+		QuotaDenied:          s.Counters["jobs.quota_denied"],
+		Restored:             s.Counters["jobs.restored"],
+		Resubmitted:          s.Counters["jobs.resubmitted"],
+		JournalErrs:          s.Counters["jobs.journal.errors"],
 		Done:                 s.Counters["jobs.done"],
 		Failed:               s.Counters["jobs.failed"],
 		Canceled:             s.Counters["jobs.canceled"],
@@ -102,7 +114,8 @@ func (h ServiceHealth) Pending() int64 {
 }
 
 // Degraded reports whether the service shows distress: load shedding,
-// crashed workers, or quarantined configurations.
+// crashed workers, quarantined configurations, or failed journal
+// writes (durability at risk).
 func (h ServiceHealth) Degraded() bool {
-	return h.Shed > 0 || h.WorkerRestarts > 0 || h.BreakerOpen > 0
+	return h.Shed > 0 || h.WorkerRestarts > 0 || h.BreakerOpen > 0 || h.JournalErrs > 0
 }

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestAnalyzeTenants(t *testing.T) {
+	c := New()
+	c.Counter("jobs.tenant.acme.submitted").Add(10)
+	c.Counter("jobs.tenant.acme.done").Add(7)
+	c.Counter("jobs.tenant.acme.failed").Add(1)
+	c.Counter("jobs.tenant.acme.canceled").Add(2)
+	c.Counter("jobs.tenant.acme.quota").Add(5)
+	c.Counter("jobs.tenant.acme.shed").Add(3)
+	c.Gauge("jobs.tenant.acme.queued").Set(4)
+	c.Histogram("jobs.tenant.acme.latency_ns").Record(1000)
+	// A tenant id containing dots must parse as one id.
+	c.Counter("jobs.tenant.eu.west.prod.done").Add(2)
+	// Non-tenant jobs.* keys must not leak in.
+	c.Counter("jobs.submitted").Add(99)
+
+	ths := AnalyzeTenants(c.Snapshot())
+	if len(ths) != 2 {
+		t.Fatalf("analyzed %d tenants, want 2: %+v", len(ths), ths)
+	}
+	acme := ths[0]
+	if acme.Tenant != "acme" || acme.Submitted != 10 || acme.Done != 7 ||
+		acme.Failed != 1 || acme.Canceled != 2 || acme.QuotaDenied != 5 ||
+		acme.Shed != 3 || acme.Queued != 4 || acme.Latency.Count != 1 {
+		t.Fatalf("acme digest: %+v", acme)
+	}
+	if got := acme.RefusalRate(); got < 0.44 || got > 0.45 { // 8/18
+		t.Fatalf("acme refusal rate = %v", got)
+	}
+	if ths[1].Tenant != "eu.west.prod" || ths[1].Done != 2 {
+		t.Fatalf("dotted tenant digest: %+v", ths[1])
+	}
+}
+
+func TestFairnessRatio(t *testing.T) {
+	ths := []TenantHealth{
+		{Tenant: "a", Done: 30},
+		{Tenant: "b", Done: 20},
+		{Tenant: "idle"}, // zero goodput is excluded, not divided by
+	}
+	if got := FairnessRatio(ths); got != 1.5 {
+		t.Fatalf("fairness = %v, want 1.5", got)
+	}
+	if got := FairnessRatio(ths[:1]); got != 0 {
+		t.Fatalf("single tenant fairness = %v, want 0", got)
+	}
+	if got := FairnessRatio(nil); got != 0 {
+		t.Fatalf("empty fairness = %v, want 0", got)
+	}
+}
+
+func TestAnalyzeServiceNewCounters(t *testing.T) {
+	c := New()
+	c.Counter("jobs.submitted").Add(3)
+	c.Counter("jobs.quota_denied").Add(2)
+	c.Counter("jobs.restored").Add(4)
+	c.Counter("jobs.resubmitted").Add(1)
+	c.Counter("jobs.journal.errors").Add(1)
+	h, ok := AnalyzeService(c.Snapshot())
+	if !ok {
+		t.Fatal("service signal not detected")
+	}
+	if h.QuotaDenied != 2 || h.Restored != 4 || h.Resubmitted != 1 || h.JournalErrs != 1 {
+		t.Fatalf("digest: %+v", h)
+	}
+	if !h.Degraded() {
+		t.Fatal("journal errors must count as distress")
+	}
+}

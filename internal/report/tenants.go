@@ -1,0 +1,45 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"patty/internal/obs"
+)
+
+// TenantTable renders the per-tenant digest (obs.AnalyzeTenants) as a
+// fixed-width table: one row per tenant with its ledger, refusals
+// split by cause (quota vs shed — the 429/503 distinction), queue
+// occupancy and latency, plus a fairness summary line. It joins
+// ServiceTable on the /statusz page of `patty serve`.
+func TenantTable(ths []obs.TenantHealth) string {
+	if len(ths) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("=== tenants (from internal/obs jobs.tenant.* keys) ===\n")
+	fmt.Fprintf(&b, "%-16s %9s %8s %7s %8s %6s %6s %7s %10s\n",
+		"tenant", "submitted", "done", "failed", "canceled", "429s", "shed", "queued", "p95 ms")
+	for _, th := range ths {
+		p95 := "-"
+		if th.Latency.Count > 0 {
+			p95 = fmt.Sprintf("%.1f", th.Latency.Quantile(0.95)/1e6)
+		}
+		fmt.Fprintf(&b, "%-16s %9d %8d %7d %8d %6d %6d %7d %10s\n",
+			clip(th.Tenant, 16), th.Submitted, th.Done, th.Failed, th.Canceled,
+			th.QuotaDenied, th.Shed, th.Queued, p95)
+	}
+	if ratio := obs.FairnessRatio(ths); ratio > 0 {
+		fmt.Fprintf(&b, "fairness: max/min goodput = %.2f (1.00 is perfect; gate is <= 2.00)\n", ratio)
+	}
+	return b.String()
+}
+
+// clip truncates s to at most n runes with an ellipsis.
+func clip(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
+}

@@ -1,0 +1,26 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"patty/internal/obs"
+)
+
+func TestTenantTable(t *testing.T) {
+	c := obs.New()
+	c.Counter("jobs.tenant.hog.submitted").Add(100)
+	c.Counter("jobs.tenant.hog.done").Add(40)
+	c.Counter("jobs.tenant.hog.quota").Add(60)
+	c.Counter("jobs.tenant.modest.submitted").Add(30)
+	c.Counter("jobs.tenant.modest.done").Add(30)
+	out := TenantTable(obs.AnalyzeTenants(c.Snapshot()))
+	for _, want := range []string{"tenant", "hog", "modest", "429s", "fairness", "1.33"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if got := TenantTable(nil); got != "" {
+		t.Fatalf("empty table = %q", got)
+	}
+}
