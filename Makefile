@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz faults chaos serve-chaos fleet vm bench bench-fleet bench-interp bench-serve lint eval study examples clean
+.PHONY: all build test race fuzz faults chaos serve-chaos fleet netchaos vm bench bench-fleet bench-interp bench-serve lint eval study examples clean
 
 all: build test
 
@@ -71,6 +71,21 @@ bench-serve:
 fleet:
 	$(GO) test -race -count=1 -timeout 120s ./internal/fleet/
 	$(GO) test -race -count=1 -timeout 120s -run 'Fleet|ServeIntakeHardening' ./cmd/patty/
+
+# netchaos is the hostile-network gate: the deterministic wire-fault
+# injector's own suite, then a multi-worker search under the pinned
+# chaos plan with one byzantine (lying) worker — the coordinator must
+# quarantine the liar via seeded cross-checks, survive every injected
+# fault class (each observable as a fleet.net.* counter), and still
+# produce a result bit-identical to the uninterrupted local run, with
+# zero leaked goroutines, all under -race. The satellite suites ride
+# along: Retry-After honoring, jitter properties, Content-Length
+# mismatch rejection, and the WAL decode edge cases.
+netchaos:
+	$(GO) test -race -count=1 -timeout 180s ./internal/netchaos/
+	$(GO) test -race -count=1 -timeout 180s \
+		-run 'NetChaos|Byzantine|CrossCheck|CostsAgree|PickSample|PeerKey|RetryAfter|ContentLength|Jitter|CheckpointCorrect|DecodeWALEdge|FleetTableHostile|AnalyzeFleetHostile' \
+		./internal/fleet/ ./internal/jobs/ ./internal/store/ ./internal/tuning/ ./internal/obs/ ./internal/report/ ./cmd/patty/
 
 # vm is the bytecode-engine gate: the VM must stay bit-identical to
 # the tree-walking oracle — engine equivalence and golden-disassembly

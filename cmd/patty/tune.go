@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"net/http"
 	"strings"
 	"time"
 
 	"patty/internal/fleet"
 	"patty/internal/jobs"
+	"patty/internal/netchaos"
 	"patty/internal/obs"
 	"patty/internal/perfmodel"
 	"patty/internal/report"
@@ -45,6 +47,15 @@ type tuneSpec struct {
 	// result is identical to the local run by construction (see
 	// internal/fleet).
 	Workers []string `json:"workers,omitempty"`
+	// NetChaos, when set, routes every shard dispatch through a
+	// deterministic wire-fault injector built from this plan
+	// (hostile-network drills; see internal/netchaos).
+	NetChaos *netchaos.PlanSpec `json:"net_chaos,omitempty"`
+	// CrossCheck is the byzantine audit width per completed shard
+	// (0: fleet default of 2; -1 disables auditing).
+	CrossCheck int `json:"cross_check,omitempty"`
+	// LeaseTTLMs bounds one shard dispatch (0: fleet default of 30s).
+	LeaseTTLMs int `json:"lease_ttl_ms,omitempty"`
 }
 
 func (s tuneSpec) withDefaults() tuneSpec {
@@ -173,6 +184,25 @@ func (e evalSpec) workload(ctx context.Context) (dims []tuning.Dim, start map[st
 	return dims, start, obj
 }
 
+// parseChaosPlan turns the -net-chaos / -chaos flag value into a plan
+// spec: empty means no injection, "gate" is the pinned drill plan
+// (netchaos.GateSpec), anything else is PlanSpec JSON.
+func parseChaosPlan(s string) (*netchaos.PlanSpec, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return nil, nil
+	case "gate":
+		ps := netchaos.GateSpec()
+		return &ps, nil
+	}
+	var ps netchaos.PlanSpec
+	if err := json.Unmarshal([]byte(s), &ps); err != nil {
+		return nil, fmt.Errorf("bad chaos plan %q: %w", s, err)
+	}
+	return &ps, nil
+}
+
 // faultsConfig decides deterministically whether a configuration
 // faults under (rate, seed): the verdict is a pure function of the
 // canonical assignment key, so a restarted process condemns the exact
@@ -260,6 +290,15 @@ func runFleetTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	var client *http.Client
+	if spec.NetChaos != nil {
+		// The injector is instrumented into the process-wide collector, so
+		// the fired fault classes (fleet.net.injected.*) land next to the
+		// coordinator's observed ones (fleet.net.*) in the same report.
+		inj := netchaos.New(spec.NetChaos.Plan()).Instrument(metrics)
+		client = &http.Client{Transport: inj.Transport(http.DefaultTransport)}
+		defer client.CloseIdleConnections()
+	}
 	res, st, err := fleet.Tune(ctx, tn, dims, start, spec.Budget, fleet.Options{
 		Workers:          spec.Workers,
 		Spec:             specJSON,
@@ -268,6 +307,9 @@ func runFleetTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
 		Collector:        metrics,
 		BreakerThreshold: spec.BreakerThreshold,
 		Observed:         &tuning.Observed{Collector: obs.New()},
+		Client:           client,
+		CrossCheck:       spec.CrossCheck,
+		LeaseTTL:         time.Duration(spec.LeaseTTLMs) * time.Millisecond,
 	})
 	if err != nil {
 		return nil, err
@@ -301,12 +343,21 @@ func cmdTune(ctx context.Context, args []string) error {
 	fs.IntVar(&spec.FaultRate, "fault-rate", 0, "percent of configurations that fault persistently (breaker demo)")
 	fs.Int64Var(&spec.FaultSeed, "fault-seed", 1, "seed selecting which configurations fault")
 	workersFlag := fs.String("workers", "", "comma-separated worker URLs: shard the search across patty worker processes")
+	netChaosFlag := fs.String("net-chaos", "", `wire-fault plan JSON (or "gate" for the pinned drill plan): inject deterministic faults into shard dispatch`)
+	fs.IntVar(&spec.CrossCheck, "cross-check", 0, "byzantine audit width per shard (0: default 2, -1: disable)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "shard lease TTL (0: fleet default)")
 	fs.Parse(args)
 	for _, u := range strings.Split(*workersFlag, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			spec.Workers = append(spec.Workers, u)
 		}
 	}
+	if ps, err := parseChaosPlan(*netChaosFlag); err != nil {
+		return err
+	} else if ps != nil {
+		spec.NetChaos = ps
+	}
+	spec.LeaseTTLMs = int(leaseTTL.Milliseconds())
 
 	var out *tuneOutcome
 	var err error

@@ -11,6 +11,7 @@ import (
 
 	"patty/internal/fleet"
 	"patty/internal/jobs"
+	"patty/internal/netchaos"
 	"patty/internal/tuning"
 )
 
@@ -43,6 +44,9 @@ func cmdWorker(ctx context.Context, args []string) error {
 	queue := fs.Int("queue", 16, "admission-queue bound; a full queue sheds shards with 503")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "hard deadline for the shutdown drain")
 	cacheDir := fs.String("cache-dir", "", "directory for per-search evaluation journals (crash-restart cache)")
+	chaosFlag := fs.String("chaos", "", `wire-fault plan JSON (or "gate"): wrap the intake in a deterministic server-side fault injector`)
+	byzRate := fs.Int("byzantine-rate", 0, "percent of evaluations reported with corrupted costs (byzantine drills; 100 = lie on every config)")
+	byzSeed := fs.Int64("byzantine-seed", 1, "seed selecting which evaluations lie")
 	fs.Parse(args)
 
 	if *cacheDir != "" {
@@ -50,12 +54,39 @@ func cmdWorker(ctx context.Context, args []string) error {
 			return err
 		}
 	}
+	hook := workerObjective
+	if *byzRate > 0 {
+		// A drill liar: answer fast and well-formed, but corrupt a
+		// deterministic fraction of costs. The coordinator's cross-check
+		// must quarantine this worker and repair its contributions.
+		rate, bseed := *byzRate, *byzSeed
+		hook = func(spec json.RawMessage) (tuning.Objective, error) {
+			obj, err := workerObjective(spec)
+			if err != nil {
+				return nil, err
+			}
+			return func(a map[string]int) float64 {
+				cost := obj(a)
+				if faultsConfig(a, rate, bseed) {
+					return cost*3 + 17
+				}
+				return cost
+			}, nil
+		}
+	}
 	svc := jobs.New(jobs.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Collector:  metrics,
 	})
-	wk := fleet.NewWorker(svc, workerObjective, *cacheDir, metrics)
+	wk := fleet.NewWorker(svc, hook, *cacheDir, metrics)
+
+	var handler http.Handler = wk.Mux()
+	if ps, err := parseChaosPlan(*chaosFlag); err != nil {
+		return err
+	} else if ps != nil {
+		handler = netchaos.New(ps.Plan()).Instrument(metrics).Middleware(handler)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -63,7 +94,7 @@ func cmdWorker(ctx context.Context, args []string) error {
 	}
 	// Parseable by harnesses: the one line on stdout before serving.
 	fmt.Printf("patty worker: listening on http://%s\n", ln.Addr())
-	hs := &http.Server{Handler: wk.Mux()}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"patty/internal/jobs"
 	"patty/internal/obs"
+	"patty/internal/seed"
 	"patty/internal/tuning"
 )
 
@@ -61,8 +63,25 @@ type Options struct {
 	// consecutive dispatch failures (default 3).
 	WorkerFailLimit int
 	// Client is the HTTP client for shard dispatch (default
-	// http.DefaultClient).
+	// http.DefaultClient). A netchaos.Injector Transport plugs in here.
 	Client *http.Client
+
+	// CrossCheck is the byzantine audit width: per completed shard, this
+	// many sampled configurations are re-evaluated locally and compared
+	// against the worker's report (default 2; -1 disables auditing).
+	CrossCheck int
+	// CrossCheckSeed drives the audit's sample selection
+	// (default seed.Default); the sample is a pure function of
+	// (seed, search signature, shard id).
+	CrossCheckSeed int64
+	// CrossCheckTol is the relative tolerance separating float noise
+	// from a lie (default 1e-9; the objective is pure, so honest
+	// divergence is at most rounding).
+	CrossCheckTol float64
+	// RetryJitterSeed seeds the per-worker retry/backoff jitter
+	// (default seed.Default). Jitter spreads synchronized retries; the
+	// seed keeps tests deterministic.
+	RetryJitterSeed int64
 }
 
 func (o Options) withDefaults(space int) Options {
@@ -88,6 +107,18 @@ func (o Options) withDefaults(space int) Options {
 	if o.Client == nil {
 		o.Client = http.DefaultClient
 	}
+	if o.CrossCheck == 0 {
+		o.CrossCheck = 2
+	}
+	if o.CrossCheckSeed == 0 {
+		o.CrossCheckSeed = seed.Default
+	}
+	if o.CrossCheckTol <= 0 {
+		o.CrossCheckTol = 1e-9
+	}
+	if o.RetryJitterSeed == 0 {
+		o.RetryJitterSeed = seed.Default
+	}
 	return o
 }
 
@@ -105,6 +136,17 @@ type Stats struct {
 	LocalEvals   int      // replay table misses evaluated locally
 	Resumed      int      // evaluations re-adopted from the checkpoint
 	Quarantined  []string // configs the replay breaker quarantined
+
+	// Hostile-network ledger.
+	NetFaults map[string]int // classified dispatch faults by FaultClass
+
+	// Byzantine-defense ledger.
+	CrossChecked         int            // audited (worker cost vs local truth) comparisons
+	Divergent            int            // audited comparisons that disagreed
+	Reverified           int            // prior contributions re-measured after a quarantine
+	Corrected            int            // re-verified records whose cost was repaired
+	ByzantineQuarantined []string       // workers quarantined for divergent costs
+	Health               []WorkerHealth // per-worker scorecards, sorted by worker
 }
 
 // scheduler is the coordinator's shared shard state. All fields are
@@ -119,11 +161,16 @@ type scheduler struct {
 	done    map[int]bool
 	nDone   int
 
-	table map[string]tuning.EvalRecord // merged costs by assignment key
-	ck    *tuning.Checkpointer         // nil when checkpointing is off
+	table  map[string]tuning.EvalRecord // merged costs by assignment key
+	source map[string]string            // eval key -> worker that produced the merged record
+	truth  map[string]float64           // locally re-measured costs (audit cache)
+	health map[string]*workerHealth     // per-worker scorecards
+	byz    *jobs.Breaker                // byzantine quarantine (keyed by worker URL)
+	ck     *tuning.Checkpointer         // nil when checkpointing is off
 
 	stats Stats
 	inst  fleetInstruments
+	coll  *obs.Collector // for dynamic fleet.net.* / fleet.peer.* keys
 
 	now func() time.Time
 }
@@ -143,6 +190,12 @@ type fleetInstruments struct {
 	resumed      *obs.Counter
 	lost         *obs.Counter
 	rtt          *obs.Histogram
+
+	crosschecked *obs.Counter
+	divergent    *obs.Counter
+	quarantined  *obs.Counter
+	reverified   *obs.Counter
+	corrected    *obs.Counter
 }
 
 func newInstruments(c *obs.Collector) fleetInstruments {
@@ -156,6 +209,12 @@ func newInstruments(c *obs.Collector) fleetInstruments {
 		resumed:      c.Counter("fleet.evals.resumed"),
 		lost:         c.Counter("fleet.workers.lost"),
 		rtt:          c.Histogram("fleet.shard.rtt_ns"),
+
+		crosschecked: c.Counter("fleet.byzantine.crosschecked"),
+		divergent:    c.Counter("fleet.byzantine.divergent"),
+		quarantined:  c.Counter("fleet.byzantine.quarantined"),
+		reverified:   c.Counter("fleet.byzantine.reverified"),
+		corrected:    c.Counter("fleet.byzantine.corrected"),
 	}
 }
 
@@ -251,13 +310,14 @@ func (s *scheduler) release(id int, counted bool) {
 // whole search, and journaled through the checkpointer (one Flush per
 // merged shard bounds the re-evaluation window after a coordinator
 // crash).
-func (s *scheduler) complete(id int, evals []tuning.EvalRecord, rtt time.Duration) {
+func (s *scheduler) complete(id int, worker string, evals []tuning.EvalRecord, rtt time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inst.rtt.Record(int64(rtt))
 	if l := s.lease[id]; l != nil {
 		l.holders--
 	}
+	h := s.healthOf(worker)
 	fresh := 0
 	for _, rec := range evals {
 		key := tuning.AssignKey(rec.Assignment)
@@ -267,8 +327,11 @@ func (s *scheduler) complete(id int, evals []tuning.EvalRecord, rtt time.Duratio
 			continue
 		}
 		s.table[key] = rec
+		s.source[key] = worker // provenance: re-verified if the worker turns byzantine
 		s.stats.Merged++
 		s.inst.merged.Inc()
+		h.evals++
+		h.inst.evals.Inc()
 		fresh++
 		if s.ck != nil {
 			s.ck.Record(rec.Assignment, rec.EffectiveCost())
@@ -295,14 +358,23 @@ func (s *scheduler) benched() {
 	s.cond.Broadcast()
 }
 
-// busyError is a worker's 503: back off, don't bench.
-type busyError struct{ after time.Duration }
+// busyError is a worker's refusal (503 shed or 429 throttle): honor
+// the advertised Retry-After, don't bench.
+type busyError struct {
+	after    time.Duration
+	throttle bool // true: 429 quota refusal; false: 503 shed
+}
 
 func (e busyError) Error() string { return fmt.Sprintf("worker busy, retry after %s", e.after) }
 
 // dispatch sends one shard to one worker and decodes the answer. The
 // request context carries the lease TTL: a hung worker is abandoned
-// when it expires and the shard is re-queued by the caller.
+// when it expires and the shard is re-queued by the caller. Failures
+// come back classified (WireError / busyError) so the caller's retry
+// policy and the fleet.net.* ledger can tell fault classes apart, and
+// the response is validated to actually answer the shard that was
+// asked: evaluation count and per-index assignment keys must match the
+// request, anything else is ClassMismatch.
 func dispatch(ctx context.Context, client *http.Client, worker string, req ShardRequest, ttl time.Duration) (*ShardResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -317,28 +389,37 @@ func dispatch(ctx context.Context, client *http.Client, worker string, req Shard
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(hreq)
 	if err != nil {
-		return nil, err
+		return nil, &WireError{Worker: worker, Class: classifyTransport(err), Err: err}
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusServiceUnavailable {
+	if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
 		after := time.Second
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			after = time.Duration(secs) * time.Second
 		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
-		return nil, busyError{after: after}
+		return nil, busyError{after: after, throttle: resp.StatusCode == http.StatusTooManyRequests}
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("worker %s: %s: %s", worker, resp.Status, bytes.TrimSpace(msg))
+		return nil, &WireError{Worker: worker, Class: ClassOther,
+			Err: fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))}
 	}
 	var sr ShardResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, MaxBodyBytes)).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("worker %s: bad shard response: %w", worker, err)
+		return nil, &WireError{Worker: worker, Class: classifyDecode(err),
+			Err: fmt.Errorf("bad shard response: %w", err)}
 	}
 	if len(sr.Evals) != len(req.Configs) {
-		return nil, fmt.Errorf("worker %s: shard %d: %d evals for %d configs",
-			worker, req.Shard, len(sr.Evals), len(req.Configs))
+		return nil, &WireError{Worker: worker, Class: ClassMismatch,
+			Err: fmt.Errorf("shard %d: %d evals for %d configs", req.Shard, len(sr.Evals), len(req.Configs))}
+	}
+	for i, rec := range sr.Evals {
+		if tuning.AssignKey(rec.Assignment) != tuning.AssignKey(req.Configs[i]) {
+			return nil, &WireError{Worker: worker, Class: ClassMismatch,
+				Err: fmt.Errorf("shard %d eval %d answers %q, asked %q", req.Shard, i,
+					tuning.AssignKey(rec.Assignment), tuning.AssignKey(req.Configs[i]))}
+		}
 	}
 	return &sr, nil
 }
@@ -363,12 +444,20 @@ func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[str
 
 	meta := tuning.SearchMeta{Algo: tn.Name(), Budget: budget, Dims: dims, Start: start}
 	sched := &scheduler{
-		lease: make(map[int]*leaseIn),
-		done:  make(map[int]bool),
-		table: make(map[string]tuning.EvalRecord),
-		inst:  newInstruments(opts.Collector),
-		now:   time.Now,
+		lease:  make(map[int]*leaseIn),
+		done:   make(map[int]bool),
+		table:  make(map[string]tuning.EvalRecord),
+		source: make(map[string]string),
+		truth:  make(map[string]float64),
+		health: make(map[string]*workerHealth),
+		// One divergence is enough: a worker caught lying about a pure
+		// function stays out for the rest of the search.
+		byz:  jobs.NewBreaker(1, time.Hour),
+		inst: newInstruments(opts.Collector),
+		coll: opts.Collector,
+		now:  time.Now,
 	}
+	sched.stats.NetFaults = make(map[string]int)
 	sched.cond = sync.NewCond(&sched.mu)
 
 	// Resume: re-adopt the merged prefix and the quarantine set from the
@@ -413,13 +502,19 @@ func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[str
 	}()
 
 	var wg sync.WaitGroup
-	for _, worker := range opts.Workers {
+	for widx, worker := range opts.Workers {
 		wg.Add(1)
-		go func(worker string) {
+		go func(widx int, worker string) {
 			defer wg.Done()
+			// Per-worker jitter stream: deterministic under the seed,
+			// different per worker so synchronized refusals de-correlate.
+			rng := rand.New(rand.NewSource(seed.Mix(opts.RetryJitterSeed, int64(widx))))
 			consecFail := 0
 			backoff := 50 * time.Millisecond
 			for {
+				if !sched.byz.Allow(worker) {
+					return // quarantined: out for the rest of the search
+				}
 				id, ok := sched.next(fctx, opts.StealAfter)
 				if !ok {
 					return
@@ -430,6 +525,7 @@ func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[str
 					Spec:    opts.Spec,
 					Configs: sched.shards[id].Configs,
 				}
+				sched.noteDispatch(worker)
 				t0 := time.Now()
 				resp, err := dispatch(fctx, opts.Client, worker, req, opts.LeaseTTL)
 				var busy busyError
@@ -437,41 +533,63 @@ func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[str
 				case err == nil:
 					consecFail = 0
 					backoff = 50 * time.Millisecond
-					sched.complete(id, resp.Evals, time.Since(t0))
+					if sched.crossCheck(worker, req, resp, opts) {
+						// The audit caught a lie: never merge this
+						// response; quarantine the worker, repair its
+						// past contributions, and hand the shard to an
+						// honest worker.
+						sched.quarantine(worker, opts)
+						sched.release(id, true)
+						return
+					}
+					sched.complete(id, worker, resp.Evals, time.Since(t0))
 				case errors.As(err, &busy):
 					// Overloaded, not broken: hand the shard back and
-					// honor the advertised backoff (capped).
+					// honor the advertised backoff, jittered so a crowd
+					// of refused dispatchers spreads out (capped).
+					class := ClassBusy
+					if busy.throttle {
+						class = ClassThrottle
+					}
+					sched.noteFault(worker, class, false)
 					sched.release(id, false)
-					sleepCtx(fctx, min(busy.after, 2*time.Second))
+					sleepCtx(fctx, min(jobs.Jitter(rng, busy.after), 2*time.Second))
+				case fctx.Err() != nil:
+					// The search is shutting down, not the worker
+					// failing: hand the shard back uncounted.
+					sched.release(id, false)
 				default:
+					sched.noteFault(worker, classOf(err), true)
 					sched.release(id, true)
 					consecFail++
 					if consecFail >= opts.WorkerFailLimit {
-						sched.benched()
+						sched.noteBenched(worker)
 						return
 					}
-					sleepCtx(fctx, backoff)
+					sleepCtx(fctx, jobs.Jitter(rng, backoff))
 					backoff = min(backoff*2, time.Second)
 				}
 			}
-		}(worker)
+		}(widx, worker)
 	}
 	wg.Wait()
 	cancel()
 	<-watch
+	sched.stats.Health = sched.healthRows(opts.Workers)
 
 	sched.mu.Lock()
 	unfinished := len(sched.shards) - sched.nDone
 	sched.mu.Unlock()
 	if unfinished > 0 && ctx.Err() == nil {
-		// Every worker was benched with shards outstanding. The merged
-		// prefix is journaled; a re-run (fleet or local) resumes it.
+		// Every worker was benched or quarantined with shards
+		// outstanding. The merged prefix is journaled; a re-run (fleet
+		// or local) resumes it.
 		if sched.ck != nil {
 			sched.ck.Flush()
 		}
 		st := sched.stats
-		return tuning.Result{}, &st, fmt.Errorf("fleet: all %d workers lost with %d of %d shards unfinished",
-			len(opts.Workers), unfinished, len(sched.shards))
+		return tuning.Result{}, &st, fmt.Errorf("fleet: all %d workers lost (%d benched, %d quarantined) with %d of %d shards unfinished",
+			len(opts.Workers), st.WorkersLost, len(st.ByzantineQuarantined), unfinished, len(sched.shards))
 	}
 
 	// Replay: run the actual search algorithm locally against the merged

@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// A request whose declared Content-Length disagrees with the bytes
+// actually delivered must answer 400, not half-parse. Go's own server
+// enforces framing on a real socket, so the hostile case — a tampering
+// proxy or a hand-rolled client — is simulated by invoking the decoder
+// directly with a mismatched header.
+func TestDecodeJSONContentLengthMismatch(t *testing.T) {
+	body := `{"shard": 3}`
+	cases := []struct {
+		name    string
+		declare int64
+	}{
+		{"declared longer than body", int64(len(body)) + 7},
+		{"declared shorter than body", int64(len(body)) - 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := httptest.NewRequest("POST", "/shards", strings.NewReader(body))
+			r.Header.Set("Content-Type", "application/json")
+			r.ContentLength = tc.declare
+			w := httptest.NewRecorder()
+			var v ShardResponse
+			if DecodeJSON(w, r, MaxBodyBytes, &v) {
+				t.Fatal("mismatched Content-Length must be rejected")
+			}
+			if w.Code != 400 {
+				t.Fatalf("status = %d, want 400", w.Code)
+			}
+			if !strings.Contains(w.Body.String(), "disagrees") {
+				t.Fatalf("error body should name the mismatch: %s", w.Body.String())
+			}
+		})
+	}
+}
+
+// The honest paths keep working: an exact Content-Length and an
+// unknown one (-1, e.g. chunked transfer) both decode.
+func TestDecodeJSONContentLengthHonest(t *testing.T) {
+	for _, declare := range []int64{int64(len(`{"shard": 3}`)), -1} {
+		r := httptest.NewRequest("POST", "/shards", strings.NewReader(`{"shard": 3}`))
+		r.Header.Set("Content-Type", "application/json")
+		r.ContentLength = declare
+		w := httptest.NewRecorder()
+		var v ShardResponse
+		if !DecodeJSON(w, r, MaxBodyBytes, &v) {
+			t.Fatalf("declare=%d: honest request rejected: %s", declare, w.Body.String())
+		}
+		if v.Shard != 3 {
+			t.Fatalf("declare=%d: decoded shard = %d", declare, v.Shard)
+		}
+	}
+}

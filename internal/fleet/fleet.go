@@ -42,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"strings"
@@ -95,10 +96,13 @@ func WriteError(w http.ResponseWriter, code int, err error) {
 
 // DecodeJSON enforces the hardened intake contract shared by `patty
 // serve` and `patty worker`: a non-JSON Content-Type answers 415, the
-// body is capped at maxBody bytes (413 past the cap), and malformed
-// JSON answers 400. Returns false when an error response was already
-// written. An absent Content-Type is treated as JSON so plain tooling
-// keeps working; anything explicitly different is refused.
+// body is capped at maxBody bytes (413 past the cap), a declared
+// Content-Length that disagrees with the bytes actually delivered
+// answers 400 (a truncated or padded wire must not half-parse into a
+// plausible request), and malformed JSON answers 400. Returns false
+// when an error response was already written. An absent Content-Type
+// is treated as JSON so plain tooling keeps working; anything
+// explicitly different is refused.
 func DecodeJSON(w http.ResponseWriter, r *http.Request, maxBody int64, v any) bool {
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		mt, _, err := mime.ParseMediaType(ct)
@@ -112,13 +116,23 @@ func DecodeJSON(w http.ResponseWriter, r *http.Request, maxBody int64, v any) bo
 		maxBody = MaxBodyBytes
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			WriteError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	if r.ContentLength >= 0 && r.ContentLength != int64(len(data)) {
+		WriteError(w, http.StatusBadRequest,
+			fmt.Errorf("content-length %d disagrees with body length %d", r.ContentLength, len(data)))
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}

@@ -1,0 +1,99 @@
+package jobs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property sweep over Jitter: for any positive duration the result
+// stays inside [0.75d, 1.25d) (so it can never go negative, and never
+// more than ±25% off the hint), and a fixed seed reproduces the exact
+// sequence.
+func TestJitterProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	durs := []time.Duration{
+		time.Nanosecond, time.Microsecond, time.Millisecond,
+		17 * time.Millisecond, time.Second, 90 * time.Second, time.Hour,
+	}
+	for i := 0; i < 2000; i++ {
+		d := durs[i%len(durs)]
+		j := Jitter(rng, d)
+		lo := time.Duration(float64(d) * 0.75)
+		hi := time.Duration(float64(d) * 1.25)
+		if j < lo || j > hi {
+			t.Fatalf("Jitter(%v) = %v outside [%v, %v]", d, j, lo, hi)
+		}
+		if j < 0 {
+			t.Fatalf("Jitter(%v) = %v went negative", d, j)
+		}
+	}
+}
+
+// Same seed, same sequence; different seed, different sequence.
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	seq := func(seedv int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seedv))
+		out := make([]time.Duration, 64)
+		for i := range out {
+			out[i] = Jitter(rng, time.Second)
+		}
+		return out
+	}
+	a, b, c := seq(7), seq(7), seq(8)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 7 and 8 produced identical jitter sequences")
+	}
+}
+
+// Degenerate inputs pass through untouched: nil rng (caller opted out)
+// and non-positive hints must not be stretched into real waits.
+func TestJitterPassthrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Jitter(nil, time.Second); got != time.Second {
+		t.Fatalf("nil rng: got %v", got)
+	}
+	if got := Jitter(rng, 0); got != 0 {
+		t.Fatalf("zero hint: got %v", got)
+	}
+	if got := Jitter(rng, -time.Second); got != -time.Second {
+		t.Fatalf("negative hint: got %v", got)
+	}
+}
+
+// SeedJitter pins the breaker's shed advice: two breakers driven
+// identically under a frozen clock with the same jitter seed advise
+// identical Retry-After sequences, and every value stays within the
+// jitter envelope (ceil of [0.75, 1.25)×cooldown, floored at 1s).
+func TestSeedJitterDeterministicBreaker(t *testing.T) {
+	cooldown := 10 * time.Second
+	epoch := time.Unix(1700000000, 0)
+	run := func(seedv int64) []int {
+		b := NewBreaker(1, cooldown)
+		b.now = func() time.Time { return epoch }
+		b.SeedJitter(seedv)
+		out := make([]int, 0, 8)
+		for i := 0; i < 8; i++ {
+			out = append(out, ShedRetryAfter(b))
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 1 || a[i] > 13 { // ceil(1.25 * 10s) = 13
+			t.Fatalf("ShedRetryAfter #%d = %ds outside the jitter envelope", i, a[i])
+		}
+	}
+}

@@ -1,5 +1,10 @@
 package obs
 
+import (
+	"sort"
+	"strings"
+)
+
 // Fleet-layer metric key grammar, published by internal/fleet:
 //
 // Coordinator side:
@@ -21,6 +26,30 @@ package obs
 //	fleet.worker.shards        counter  (shards evaluated to completion)
 //	fleet.worker.evals         counter  (configurations actually measured)
 //	fleet.worker.cache_hits    counter  (configurations answered from the journal)
+//
+// Hostile-network ledger (coordinator side; <class> per
+// fleet.FaultClass / netchaos class names):
+//
+//	fleet.net.<class>            counter (classified dispatch faults observed)
+//	fleet.net.injected.<class>   counter (faults a netchaos.Injector fired)
+//
+// Byzantine-defense ledger (coordinator side):
+//
+//	fleet.byzantine.crosschecked counter (audited cost comparisons)
+//	fleet.byzantine.divergent    counter (audits that disagreed)
+//	fleet.byzantine.quarantined  counter (workers quarantined for lying)
+//	fleet.byzantine.reverified   counter (prior contributions re-measured)
+//	fleet.byzantine.corrected    counter (re-verified records repaired)
+//
+// Per-worker scorecards (<peer> is fleet.peerKey of the worker URL):
+//
+//	fleet.peer.<peer>.dispatched   counter
+//	fleet.peer.<peer>.failed       counter
+//	fleet.peer.<peer>.evals        counter
+//	fleet.peer.<peer>.crosschecked counter
+//	fleet.peer.<peer>.divergent    counter
+//	fleet.peer.<peer>.quarantined  gauge (0/1)
+//	fleet.peer.<peer>.benched      gauge (0/1)
 //
 // Like the jobs.* keys, these live beside the pattern keys in one
 // Collector; Analyze skips them and AnalyzeFleet digests them.
@@ -46,6 +75,34 @@ type FleetHealth struct {
 	WorkerShards    int64 `json:"worker_shards"`
 	WorkerEvals     int64 `json:"worker_evals"`
 	WorkerCacheHits int64 `json:"worker_cache_hits"`
+
+	// NetFaults maps fault class -> count for every fleet.net.* key
+	// (including the injected.* sub-keys), so both what the wire did and
+	// what a chaos injector fired are in one ledger.
+	NetFaults map[string]int64 `json:"net_faults,omitempty"`
+
+	// Byzantine-defense ledger.
+	ByzCrossChecked int64 `json:"byz_crosschecked,omitempty"`
+	ByzDivergent    int64 `json:"byz_divergent,omitempty"`
+	ByzQuarantined  int64 `json:"byz_quarantined,omitempty"`
+	ByzReverified   int64 `json:"byz_reverified,omitempty"`
+	ByzCorrected    int64 `json:"byz_corrected,omitempty"`
+
+	// Peers are the per-worker scorecards parsed from the
+	// fleet.peer.<name>.* keys, sorted by name.
+	Peers []PeerHealth `json:"peers,omitempty"`
+}
+
+// PeerHealth is one worker's scorecard as seen by the coordinator.
+type PeerHealth struct {
+	Name         string `json:"name"`
+	Dispatched   int64  `json:"dispatched"`
+	Failed       int64  `json:"failed"`
+	Evals        int64  `json:"evals"`
+	CrossChecked int64  `json:"cross_checked"`
+	Divergent    int64  `json:"divergent"`
+	Quarantined  bool   `json:"quarantined,omitempty"`
+	Benched      bool   `json:"benched,omitempty"`
 }
 
 // AnalyzeFleet extracts the fleet digest from a snapshot. ok is false
@@ -67,9 +124,74 @@ func AnalyzeFleet(s Snapshot) (h FleetHealth, ok bool) {
 		WorkerShards:       s.Counters["fleet.worker.shards"],
 		WorkerEvals:        s.Counters["fleet.worker.evals"],
 		WorkerCacheHits:    s.Counters["fleet.worker.cache_hits"],
+		ByzCrossChecked:    s.Counters["fleet.byzantine.crosschecked"],
+		ByzDivergent:       s.Counters["fleet.byzantine.divergent"],
+		ByzQuarantined:     s.Counters["fleet.byzantine.quarantined"],
+		ByzReverified:      s.Counters["fleet.byzantine.reverified"],
+		ByzCorrected:       s.Counters["fleet.byzantine.corrected"],
 	}
+	peers := map[string]*PeerHealth{}
+	peer := func(rest string) (*PeerHealth, string, bool) {
+		i := strings.LastIndex(rest, ".")
+		if i <= 0 || i == len(rest)-1 {
+			return nil, "", false
+		}
+		name, field := rest[:i], rest[i+1:]
+		p := peers[name]
+		if p == nil {
+			p = &PeerHealth{Name: name}
+			peers[name] = p
+		}
+		return p, field, true
+	}
+	for key, n := range s.Counters {
+		switch {
+		case strings.HasPrefix(key, "fleet.net."):
+			if h.NetFaults == nil {
+				h.NetFaults = make(map[string]int64)
+			}
+			h.NetFaults[strings.TrimPrefix(key, "fleet.net.")] = n
+		case strings.HasPrefix(key, "fleet.peer."):
+			p, field, pok := peer(strings.TrimPrefix(key, "fleet.peer."))
+			if !pok {
+				continue
+			}
+			switch field {
+			case "dispatched":
+				p.Dispatched = n
+			case "failed":
+				p.Failed = n
+			case "evals":
+				p.Evals = n
+			case "crosschecked":
+				p.CrossChecked = n
+			case "divergent":
+				p.Divergent = n
+			}
+		}
+	}
+	for key, n := range s.Gauges {
+		if !strings.HasPrefix(key, "fleet.peer.") {
+			continue
+		}
+		p, field, pok := peer(strings.TrimPrefix(key, "fleet.peer."))
+		if !pok {
+			continue
+		}
+		switch field {
+		case "quarantined":
+			p.Quarantined = n > 0
+		case "benched":
+			p.Benched = n > 0
+		}
+	}
+	for _, p := range peers {
+		h.Peers = append(h.Peers, *p)
+	}
+	sort.Slice(h.Peers, func(i, j int) bool { return h.Peers[i].Name < h.Peers[j].Name })
 	ok = h.Workers > 0 || h.ShardsTotal > 0 || h.WorkerShards > 0 ||
-		h.WorkerEvals > 0 || h.WorkerCacheHits > 0
+		h.WorkerEvals > 0 || h.WorkerCacheHits > 0 ||
+		len(h.NetFaults) > 0 || len(h.Peers) > 0 || h.ByzCrossChecked > 0
 	return h, ok
 }
 
@@ -102,7 +224,9 @@ func (h FleetHealth) DuplicateRate() float64 {
 }
 
 // Degraded reports whether the fleet showed distress: lost workers,
-// re-dispatched leases, or replay misses evaluated locally.
+// re-dispatched leases, replay misses evaluated locally, or a worker
+// quarantined for lying.
 func (h FleetHealth) Degraded() bool {
-	return h.WorkersLost > 0 || h.ShardsRedispatched > 0 || h.EvalsLocal > 0
+	return h.WorkersLost > 0 || h.ShardsRedispatched > 0 || h.EvalsLocal > 0 ||
+		h.ByzQuarantined > 0
 }

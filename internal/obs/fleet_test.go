@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A snapshot with only hostile-network / byzantine / peer signal must
+// still register as fleet signal, and every key family must land in
+// the right FleetHealth field.
+func TestAnalyzeFleetHostileNetwork(t *testing.T) {
+	s := Snapshot{
+		Counters: map[string]int64{
+			"fleet.net.drop":                         3,
+			"fleet.net.timeout":                      2,
+			"fleet.net.injected.corrupt":             5,
+			"fleet.byzantine.crosschecked":           7,
+			"fleet.byzantine.divergent":              2,
+			"fleet.byzantine.quarantined":            1,
+			"fleet.byzantine.reverified":             4,
+			"fleet.byzantine.corrected":              3,
+			"fleet.peer.127.0.0.1-4713.dispatched":   9,
+			"fleet.peer.127.0.0.1-4713.failed":       1,
+			"fleet.peer.127.0.0.1-4713.evals":        40,
+			"fleet.peer.127.0.0.1-4713.crosschecked": 6,
+			"fleet.peer.127.0.0.1-4713.divergent":    2,
+			"fleet.peer.127.0.0.1-9000.dispatched":   4,
+		},
+		Gauges: map[string]int64{
+			"fleet.peer.127.0.0.1-4713.quarantined": 1,
+			"fleet.peer.127.0.0.1-9000.benched":     1,
+		},
+	}
+	h, ok := AnalyzeFleet(s)
+	if !ok {
+		t.Fatal("AnalyzeFleet: hostile-network signal not recognized as fleet signal")
+	}
+	wantNet := map[string]int64{"drop": 3, "timeout": 2, "injected.corrupt": 5}
+	if !reflect.DeepEqual(h.NetFaults, wantNet) {
+		t.Fatalf("NetFaults = %v, want %v", h.NetFaults, wantNet)
+	}
+	if h.ByzCrossChecked != 7 || h.ByzDivergent != 2 || h.ByzQuarantined != 1 ||
+		h.ByzReverified != 4 || h.ByzCorrected != 3 {
+		t.Fatalf("byzantine ledger = %+v", h)
+	}
+	if len(h.Peers) != 2 {
+		t.Fatalf("Peers = %v, want 2 rows", h.Peers)
+	}
+	// Sorted by name; peer names contain dots, so the parser must split
+	// on the LAST dot.
+	liar := h.Peers[0]
+	if liar.Name != "127.0.0.1-4713" {
+		t.Fatalf("Peers[0].Name = %q", liar.Name)
+	}
+	if liar.Dispatched != 9 || liar.Failed != 1 || liar.Evals != 40 ||
+		liar.CrossChecked != 6 || liar.Divergent != 2 || !liar.Quarantined || liar.Benched {
+		t.Fatalf("Peers[0] = %+v", liar)
+	}
+	benched := h.Peers[1]
+	if benched.Name != "127.0.0.1-9000" || benched.Dispatched != 4 ||
+		!benched.Benched || benched.Quarantined {
+		t.Fatalf("Peers[1] = %+v", benched)
+	}
+	if !h.Degraded() {
+		t.Fatal("a quarantined worker must read as degraded")
+	}
+}
+
+func TestAnalyzeFleetNoSignal(t *testing.T) {
+	if _, ok := AnalyzeFleet(Snapshot{Counters: map[string]int64{"patterns.total": 3}}); ok {
+		t.Fatal("non-fleet snapshot must not report fleet signal")
+	}
+	h, _ := AnalyzeFleet(Snapshot{})
+	if h.Degraded() {
+		t.Fatal("empty digest must not be degraded")
+	}
+}

@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"patty/internal/obs"
@@ -9,9 +10,12 @@ import (
 
 // FleetTable renders the fleet-layer digest (obs.AnalyzeFleet) in the
 // style of ServiceTable: shard progress, the evaluation ledger, shard
-// round-trip quantiles, and — only when present — the distress signals
-// (lost workers, re-dispatched leases, local fallback evaluations). It
-// backs the /statusz pages of the coordinator and of `patty worker`.
+// round-trip quantiles, the hostile-network fault ledger, the
+// byzantine audit, per-worker health rows (with an
+// ok/BENCHED/QUARANTINED status column), and — only when present — the
+// distress signals (lost workers, re-dispatched leases, local fallback
+// evaluations, quarantined liars). It backs the /statusz pages of the
+// coordinator and of `patty worker`.
 func FleetTable(h obs.FleetHealth) string {
 	var b strings.Builder
 	b.WriteString("=== tuning fleet (from internal/obs fleet.* keys) ===\n")
@@ -30,6 +34,36 @@ func FleetTable(h obs.FleetHealth) string {
 		fmt.Fprintf(&b, "worker  %d shard(s) served, %d eval(s) measured, %d cache hit(s)\n",
 			h.WorkerShards, h.WorkerEvals, h.WorkerCacheHits)
 	}
+	if len(h.NetFaults) > 0 {
+		classes := make([]string, 0, len(h.NetFaults))
+		for c := range h.NetFaults {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		parts := make([]string, 0, len(classes))
+		for _, c := range classes {
+			parts = append(parts, fmt.Sprintf("%s %d", c, h.NetFaults[c]))
+		}
+		fmt.Fprintf(&b, "net faults: %s\n", strings.Join(parts, ", "))
+	}
+	if h.ByzCrossChecked > 0 || h.ByzQuarantined > 0 {
+		fmt.Fprintf(&b, "byzantine audit: %d cross-checked, %d divergent, %d quarantined, %d re-verified, %d corrected\n",
+			h.ByzCrossChecked, h.ByzDivergent, h.ByzQuarantined, h.ByzReverified, h.ByzCorrected)
+	}
+	if len(h.Peers) > 0 {
+		b.WriteString("peers:\n")
+		for _, p := range h.Peers {
+			status := "ok"
+			switch {
+			case p.Quarantined:
+				status = "QUARANTINED"
+			case p.Benched:
+				status = "BENCHED"
+			}
+			fmt.Fprintf(&b, "   %-24s dispatched %-4d failed %-4d evals %-5d checked %-3d divergent %-3d %s\n",
+				p.Name, p.Dispatched, p.Failed, p.Evals, p.CrossChecked, p.Divergent, status)
+		}
+	}
 	if h.Degraded() {
 		b.WriteString("distress:\n")
 		if h.WorkersLost > 0 {
@@ -40,6 +74,9 @@ func FleetTable(h obs.FleetHealth) string {
 		}
 		if h.EvalsLocal > 0 {
 			fmt.Fprintf(&b, "   %d replay miss(es) evaluated locally (table incomplete)\n", h.EvalsLocal)
+		}
+		if h.ByzQuarantined > 0 {
+			fmt.Fprintf(&b, "   %d worker(s) quarantined for divergent costs; contributions re-verified\n", h.ByzQuarantined)
 		}
 	} else if h.Coordinator() {
 		b.WriteString("no distress: no workers lost, no leases re-dispatched, table complete\n")

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"patty/internal/obs"
+)
+
+// The fleet table must render the hostile-network ledger, the
+// byzantine audit line, and a per-worker status column that singles
+// out quarantined and benched peers.
+func TestFleetTableHostileNetwork(t *testing.T) {
+	h := obs.FleetHealth{
+		Workers: 3, ShardsTotal: 10, ShardsDone: 10,
+		EvalsMerged:     18,
+		NetFaults:       map[string]int64{"drop": 3, "timeout": 2, "injected.corrupt": 5},
+		ByzCrossChecked: 7, ByzDivergent: 2, ByzQuarantined: 1,
+		ByzReverified: 4, ByzCorrected: 3,
+		Peers: []obs.PeerHealth{
+			{Name: "127.0.0.1-4713", Dispatched: 9, Failed: 1, Evals: 40,
+				CrossChecked: 6, Divergent: 2, Quarantined: true},
+			{Name: "127.0.0.1-9000", Dispatched: 4, Benched: true},
+			{Name: "127.0.0.1-9100", Dispatched: 5, Evals: 30, CrossChecked: 4},
+		},
+	}
+	out := FleetTable(h)
+	for _, want := range []string{
+		"net faults: drop 3, injected.corrupt 5, timeout 2",
+		"byzantine audit: 7 cross-checked, 2 divergent, 1 quarantined, 4 re-verified, 3 corrected",
+		"peers:",
+		"QUARANTINED",
+		"BENCHED",
+		"1 worker(s) quarantined for divergent costs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FleetTable missing %q in:\n%s", want, out)
+		}
+	}
+	// The healthy peer renders status "ok", and rows keep their order.
+	var q, ben, okRow int
+	for i, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "127.0.0.1-4713"):
+			q = i
+			if !strings.Contains(line, "QUARANTINED") {
+				t.Errorf("liar row lacks QUARANTINED: %q", line)
+			}
+		case strings.Contains(line, "127.0.0.1-9000"):
+			ben = i
+			if !strings.Contains(line, "BENCHED") {
+				t.Errorf("benched row lacks BENCHED: %q", line)
+			}
+		case strings.Contains(line, "127.0.0.1-9100"):
+			okRow = i
+			if !strings.HasSuffix(strings.TrimRight(line, " "), " ok") {
+				t.Errorf("healthy row should end in ok: %q", line)
+			}
+		}
+	}
+	if !(q < ben && ben < okRow) {
+		t.Errorf("peer rows out of order: %d %d %d\n%s", q, ben, okRow, out)
+	}
+}
+
+// A quiet coordinator digest still renders the no-distress line and no
+// hostile-network sections.
+func TestFleetTableQuiet(t *testing.T) {
+	out := FleetTable(obs.FleetHealth{Workers: 2, ShardsTotal: 4, ShardsDone: 4, EvalsMerged: 9})
+	if !strings.Contains(out, "no distress") {
+		t.Fatalf("missing no-distress line:\n%s", out)
+	}
+	for _, not := range []string{"net faults", "byzantine", "peers:"} {
+		if strings.Contains(out, not) {
+			t.Fatalf("unexpected %q section:\n%s", not, out)
+		}
+	}
+}

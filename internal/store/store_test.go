@@ -440,3 +440,72 @@ func TestServiceWithStoreEndToEnd(t *testing.T) {
 		t.Fatalf("recovered seq floor violated: new %d vs old %d", s2.Seq, s1.Seq)
 	}
 }
+
+// DecodeWAL edge cases: inputs at the boundaries of the framing
+// grammar — an empty image, a tail that is only a frame header, and a
+// frame whose declared payload length exceeds the bytes that remain —
+// must come back as the precise typed verdicts, never a panic or a
+// phantom record.
+func TestDecodeWALEdgeCases(t *testing.T) {
+	good, err := EncodeRecord(Record{Op: OpAccepted, ID: "j1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("empty image", func(t *testing.T) {
+		recs, n, err := DecodeWAL(nil)
+		if err != nil || n != 0 || len(recs) != 0 {
+			t.Fatalf("DecodeWAL(nil) = %v, %d, %v; want clean empty", recs, n, err)
+		}
+		recs, n, err = DecodeWAL([]byte{})
+		if err != nil || n != 0 || len(recs) != 0 {
+			t.Fatalf("DecodeWAL(empty) = %v, %d, %v; want clean empty", recs, n, err)
+		}
+	})
+
+	t.Run("header-only tail", func(t *testing.T) {
+		// One good record, then a frame cut right after its header line:
+		// the header parses but zero payload bytes follow.
+		nl := bytes.IndexByte(good, '\n')
+		img := append(append([]byte{}, good...), good[:nl+1]...)
+		recs, n, err := DecodeWAL(img)
+		if !errors.Is(err, ErrTornTail) {
+			t.Fatalf("err = %v, want ErrTornTail", err)
+		}
+		if len(recs) != 1 || n != len(good) {
+			t.Fatalf("prefix = %d record(s), validLen %d; want 1, %d", len(recs), n, len(good))
+		}
+		// The same tail with nothing before it: zero records, offset 0.
+		recs, n, err = DecodeWAL(good[:nl+1])
+		if !errors.Is(err, ErrTornTail) || len(recs) != 0 || n != 0 {
+			t.Fatalf("bare header = %v, %d, %v; want torn tail at 0", recs, n, err)
+		}
+		// A header cut before its newline is also a torn tail, not
+		// corruption.
+		recs, n, err = DecodeWAL(good[:nl])
+		if !errors.Is(err, ErrTornTail) || len(recs) != 0 || n != 0 {
+			t.Fatalf("unterminated header = %v, %d, %v; want torn tail at 0", recs, n, err)
+		}
+	})
+
+	t.Run("declared length exceeds remaining bytes", func(t *testing.T) {
+		// Chop the final payload byte + newline: the header's length field
+		// now promises more than the image holds.
+		img := append(append([]byte{}, good...), good[:len(good)-2]...)
+		recs, n, err := DecodeWAL(img)
+		if !errors.Is(err, ErrTornTail) {
+			t.Fatalf("err = %v, want ErrTornTail", err)
+		}
+		if len(recs) != 1 || n != len(good) {
+			t.Fatalf("prefix = %d record(s), validLen %d; want 1, %d", len(recs), n, len(good))
+		}
+		// An absurd declared length with all framing intact is still a
+		// torn tail by the grammar (bytes merely missing), and must not
+		// allocate or scan past the image.
+		huge := append([]byte("walrec 00000000 9999999999\n"), []byte("x")...)
+		recs, n, err = DecodeWAL(huge)
+		if !errors.Is(err, ErrTornTail) || len(recs) != 0 || n != 0 {
+			t.Fatalf("huge length = %v, %d, %v; want torn tail at 0", recs, n, err)
+		}
+	})
+}

@@ -154,6 +154,33 @@ func (c *Checkpointer) Record(a map[string]int, cost float64) {
 	c.state.Evals = append(c.state.Evals, rec)
 }
 
+// Correct overwrites the journaled cost of an assignment in place —
+// the fleet coordinator's byzantine re-verification replaces a
+// quarantined worker's lied costs with locally re-measured truth
+// (Record alone cannot: it ignores keys already journaled, which is
+// right for idempotent merges and wrong for repairs). An unknown key
+// falls through to Record semantics. The snapshot is persisted by the
+// next Flush.
+func (c *Checkpointer) Correct(a map[string]int, cost float64) {
+	key := assignKey(a)
+	rec := EvalRecord{Assignment: copyAssign(a), Cost: cost}
+	if math.IsInf(cost, 1) || math.IsNaN(cost) || math.IsInf(cost, -1) {
+		rec.Cost, rec.Faulted = 0, true
+	}
+	if _, ok := c.cache[key]; !ok {
+		c.cache[key] = rec
+		c.state.Evals = append(c.state.Evals, rec)
+		return
+	}
+	c.cache[key] = rec
+	for i := range c.state.Evals {
+		if assignKey(c.state.Evals[i].Assignment) == key {
+			c.state.Evals[i] = rec
+			break
+		}
+	}
+}
+
 // Lookup returns the journaled record for a canonical assignment key.
 func (c *Checkpointer) Lookup(key string) (EvalRecord, bool) {
 	rec, ok := c.cache[key]

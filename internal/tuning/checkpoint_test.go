@@ -189,3 +189,62 @@ func TestCheckpointCorruptSurfacesTyped(t *testing.T) {
 		t.Fatalf("truncated snapshot: got %v, want ErrCorruptCheckpoint", err)
 	}
 }
+
+// TestCheckpointCorrectOverwrites: Correct replaces an already-journaled
+// cost in place (Record ignores known keys by design); the repaired
+// value survives a flush/reload cycle and unknown keys fall through to
+// Record semantics. This is the fleet coordinator's byzantine repair
+// path: a quarantined worker's lied costs are overwritten with locally
+// re-measured truth.
+func TestCheckpointCorrectOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	meta := SearchMeta{Algo: "linear", Budget: 10, Dims: bowlDims(), Start: bowlStart()}
+	ck, _, err := NewCheckpointer(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := map[string]int{"x": 1, "y": 2}
+	b := map[string]int{"x": 3, "y": 4}
+	ck.Record(a, 100) // the lie
+	ck.Record(b, 50)
+
+	// Record is merge-idempotent: it must NOT repair the lie.
+	ck.Record(a, 42)
+	if rec, _ := ck.Lookup(AssignKey(a)); rec.Cost != 100 {
+		t.Fatalf("Record overwrote a journaled key: %+v", rec)
+	}
+
+	ck.Correct(a, 42) // the repair
+	if rec, _ := ck.Lookup(AssignKey(a)); rec.Cost != 42 {
+		t.Fatalf("Correct did not overwrite: %+v", rec)
+	}
+	// Correcting to a faulted cost stores the flag, not the Inf.
+	ck.Correct(b, math.Inf(1))
+	if rec, _ := ck.Lookup(AssignKey(b)); !rec.Faulted || rec.Cost != 0 {
+		t.Fatalf("Correct to +Inf not stored as faulted: %+v", rec)
+	}
+	// Unknown key: Correct degrades to Record.
+	c := map[string]int{"x": 5, "y": 6}
+	ck.Correct(c, 7)
+	if rec, ok := ck.Lookup(AssignKey(c)); !ok || rec.Cost != 7 {
+		t.Fatalf("Correct on unknown key: %+v ok=%v", rec, ok)
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal on disk holds the corrected values, once each.
+	ck2, resumed, err := NewCheckpointer(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 3 {
+		t.Fatalf("resumed %d evals, want 3 (corrections must not duplicate entries)", resumed)
+	}
+	if rec, _ := ck2.Lookup(AssignKey(a)); rec.Cost != 42 {
+		t.Fatalf("corrected cost not persisted: %+v", rec)
+	}
+	if rec, _ := ck2.Lookup(AssignKey(b)); !rec.Faulted {
+		t.Fatalf("corrected fault flag not persisted: %+v", rec)
+	}
+}
