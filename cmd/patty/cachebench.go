@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"patty/internal/corpus"
+	"patty/internal/evalcache"
+	"patty/internal/jobs"
+	"patty/internal/obs"
+)
+
+// cacheBenchTenant is one tenant's slice of the duplicate-resubmission
+// leg: how many duplicates it offered and how many the store answered.
+type cacheBenchTenant struct {
+	Tenant string `json:"tenant"`
+	Jobs   int    `json:"jobs"`
+	Hits   int64  `json:"hits"`
+}
+
+// cacheBench is the BENCH_cache.json artifact: a skewed tenant mix
+// resubmits previously-answered programs (whitespace/comment-perturbed,
+// so only canonical hashing can match them) against a `patty serve`
+// with an evaluation store, recording the duplicate hit rate and the
+// p50/p99 latency delta between cold searches and cached answers.
+type cacheBench struct {
+	Programs int `json:"programs"`
+	Rounds   int `json:"rounds"`
+	ColdJobs int `json:"cold_jobs"`
+	WarmJobs int `json:"warm_jobs"`
+
+	DuplicateHitRate float64 `json:"duplicate_hit_rate"`
+	ColdP50Ms        float64 `json:"cold_p50_ms"`
+	ColdP99Ms        float64 `json:"cold_p99_ms"`
+	WarmP50Ms        float64 `json:"warm_p50_ms"`
+	WarmP99Ms        float64 `json:"warm_p99_ms"`
+	P50SpeedupX      float64 `json:"p50_speedup_x"`
+	P99SpeedupX      float64 `json:"p99_speedup_x"`
+
+	StoreEntries int   `json:"store_entries"`
+	StoreBytes   int64 `json:"store_bytes"`
+
+	Tenants []cacheBenchTenant `json:"tenants"`
+}
+
+// cacheBenchJob builds the POST /jobs body for program i: a tune job
+// carrying the program's sources. Cores varies per program so every
+// job owns a distinct eval-level workload identity too — the cold pass
+// must be genuinely cold at both cache layers.
+func cacheBenchJob(i int, name, src string) []byte {
+	body, _ := json.Marshal(map[string]any{
+		"kind":    "tune",
+		"algo":    "linear",
+		"budget":  120,
+		"cores":   4 + i,
+		"sources": map[string]string{name + ".go": src},
+	})
+	return body
+}
+
+// submitAndWait posts one job under a tenant and waits for its terminal
+// state, returning the end-to-end latency.
+func submitAndWait(hc *http.Client, base, tenant string, body []byte) (time.Duration, error) {
+	t0 := time.Now()
+	req, err := http.NewRequest(http.MethodPost, base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("submit: HTTP %d (%s)", resp.StatusCode, out.Error)
+	}
+	wresp, err := hc.Get(base + "/jobs/" + out.ID + "?wait=1")
+	if err != nil {
+		return 0, err
+	}
+	var info jobs.Info
+	json.NewDecoder(wresp.Body).Decode(&info)
+	wresp.Body.Close()
+	if info.Status != jobs.StatusDone {
+		return 0, fmt.Errorf("job %s: %s (%s)", out.ID, info.Status, info.Error)
+	}
+	return time.Since(t0), nil
+}
+
+// runCacheBench is the duplicate-resubmission leg of servebench: cold
+// pass first (tenant t1 submits each program once, every job a real
+// search), then a skewed duplicate storm (t1, t2, and a hog at 3x
+// resubmitting comment-perturbed copies of the same programs) that the
+// store must answer without re-running anything. Fails unless every
+// duplicate hits.
+func runCacheBench(ctx context.Context, smoke bool, outPath string) error {
+	programs := corpus.All()
+	rounds := 3
+	if n := 6; len(programs) > n {
+		programs = programs[:n]
+	}
+	if smoke {
+		rounds = 1
+		if len(programs) > 3 {
+			programs = programs[:3]
+		}
+	}
+
+	collector := obs.New()
+	cacheDir := filepath.Join(os.TempDir(), fmt.Sprintf("patty-cachebench-%d", os.Getpid()))
+	defer os.RemoveAll(cacheDir)
+	cache, err := evalcache.Open(cacheDir, evalcache.Options{Collector: collector})
+	if err != nil {
+		return err
+	}
+	defer cache.Close()
+	svc := jobs.New(jobs.Options{Workers: 4, QueueDepth: 64, Collector: collector})
+	srv := newServer(svc, "")
+	srv.cache = cache
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv.mux()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		hs.Close()
+		svc.Close()
+	}()
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	defer hc.CloseIdleConnections()
+
+	// Cold pass: every program searched for real exactly once.
+	var coldLat []time.Duration
+	for i, p := range programs {
+		d, err := submitAndWait(hc, base, "t1", cacheBenchJob(i, p.Name, p.Source))
+		if err != nil {
+			return fmt.Errorf("cold %s: %w", p.Name, err)
+		}
+		coldLat = append(coldLat, d)
+	}
+	hitsBefore := cache.Stats().Hits
+
+	// Duplicate storm: a skewed mix resubmits perturbed copies — an
+	// added comment and a moved brace survive gofmt-level noise only if
+	// the address is canonical, which is the point of the leg.
+	type dup struct {
+		tenant string
+		round  int
+		prog   int
+	}
+	var plan []dup
+	for r := 0; r < rounds; r++ {
+		for i := range programs {
+			plan = append(plan, dup{"t1", r, i}, dup{"t2", r, i},
+				dup{"hog", r, i}, dup{"hog", r, i}, dup{"hog", r, i})
+		}
+	}
+	var warmLat []time.Duration
+	perTenant := map[string]int{}
+	for _, d := range plan {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p := programs[d.prog]
+		src := p.Source + fmt.Sprintf("\n// resubmission round %d by %s\n", d.round, d.tenant)
+		lat, err := submitAndWait(hc, base, d.tenant, cacheBenchJob(d.prog, p.Name, src))
+		if err != nil {
+			return fmt.Errorf("duplicate %s (%s): %w", p.Name, d.tenant, err)
+		}
+		warmLat = append(warmLat, lat)
+		perTenant[d.tenant]++
+	}
+
+	st := cache.Stats()
+	warmHits := st.Hits - hitsBefore
+	sort.Slice(coldLat, func(i, k int) bool { return coldLat[i] < coldLat[k] })
+	sort.Slice(warmLat, func(i, k int) bool { return warmLat[i] < warmLat[k] })
+	bench := cacheBench{
+		Programs: len(programs), Rounds: rounds,
+		ColdJobs: len(coldLat), WarmJobs: len(warmLat),
+		DuplicateHitRate: float64(warmHits) / float64(len(warmLat)),
+		ColdP50Ms:        quantileMs(coldLat, 0.50),
+		ColdP99Ms:        quantileMs(coldLat, 0.99),
+		WarmP50Ms:        quantileMs(warmLat, 0.50),
+		WarmP99Ms:        quantileMs(warmLat, 0.99),
+		StoreEntries:     st.Entries,
+		StoreBytes:       st.Bytes,
+	}
+	if bench.WarmP50Ms > 0 {
+		bench.P50SpeedupX = bench.ColdP50Ms / bench.WarmP50Ms
+	}
+	if bench.WarmP99Ms > 0 {
+		bench.P99SpeedupX = bench.ColdP99Ms / bench.WarmP99Ms
+	}
+	snap := collector.Snapshot()
+	for _, tenant := range []string{"t1", "t2", "hog"} {
+		bench.Tenants = append(bench.Tenants, cacheBenchTenant{
+			Tenant: tenant, Jobs: perTenant[tenant],
+			Hits: snap.Counters["cache.tenant."+tenant+".hits"],
+		})
+	}
+
+	fmt.Printf("cache leg: %d cold / %d duplicate job(s) over %d program(s), hit rate %.2f\n",
+		bench.ColdJobs, bench.WarmJobs, bench.Programs, bench.DuplicateHitRate)
+	fmt.Printf("cache leg: p50 %.2f -> %.2f ms (%.1fx), p99 %.2f -> %.2f ms (%.1fx)\n",
+		bench.ColdP50Ms, bench.WarmP50Ms, bench.P50SpeedupX,
+		bench.ColdP99Ms, bench.WarmP99Ms, bench.P99SpeedupX)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if warmHits < int64(len(warmLat)) {
+		return fmt.Errorf("cache leg: only %d of %d duplicates hit the store", warmHits, len(warmLat))
+	}
+	return nil
+}

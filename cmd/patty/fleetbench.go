@@ -48,7 +48,7 @@ type fleetBench struct {
 // child processes.
 func startInprocWorker(pool int) (url string, stop func(), err error) {
 	svc := jobs.New(jobs.Options{Workers: pool, QueueDepth: 64})
-	wk := fleet.NewWorker(svc, workerObjective, "", obs.New())
+	wk := fleet.NewWorker(svc, workerObjective, nil, obs.New())
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		svc.Close()

@@ -82,6 +82,8 @@ func main() {
 		err = interruptible(cmdServe, args)
 	case "worker":
 		err = interruptible(cmdWorker, args)
+	case "cache":
+		err = cmdCache(args)
 	case "fleetbench":
 		err = interruptible(cmdFleetbench, args)
 	case "servebench":
@@ -140,11 +142,13 @@ commands:
   verify    [-corpus name | files...]   run generated parallel unit tests (CHESS-style)
   tune      [-algo linear|nelder-mead|tabu|random] [-budget n]
             [-checkpoint f.ckpt] [-fault-rate p] [-eval-delay ms]
-            [-workers url1,url2,...]
+            [-workers url1,url2,...] [-cache-dir dir]
             auto-tuning; with -checkpoint a killed run resumes where it
             stopped, faulting configs are quarantined by a breaker;
             with -workers the search is sharded across patty worker
-            processes and merged to the identical result
+            processes and merged to the identical result; with
+            -cache-dir measured configs persist in a content-addressed
+            store and later runs answer from it
   study     [-seed n] [-measured] [-checkpoint f.ckpt]
             regenerate the user-study tables
   eval      [-static] [-engine auto|tree|vm]
@@ -165,12 +169,20 @@ commands:
             a tune job with a "workers" list runs as a fleet search;
             with -store-dir the job ledger survives a kill (WAL +
             snapshot) and tenants get fair-share dispatch with
-            per-tenant quotas (429) distinct from overload sheds (503)
+            per-tenant quotas (429) distinct from overload sheds (503);
+            with -cache-dir resubmitted deterministic jobs (matched by
+            canonical program hash + spec) answer from the evaluation
+            store without re-running, across tenants and restarts
   worker    [-addr host:port] [-workers n] [-queue n] [-cache-dir dir]
-            [-drain-timeout d]
+            [-cache-max-bytes n] [-drain-timeout d]
             fleet worker: evaluates tuning shards leased by a
-            coordinator (patty tune -workers ...), caching results
-            per search so a restarted worker answers from its journal
+            coordinator (patty tune -workers ...); with -cache-dir
+            every measurement lands in the shared content-addressed
+            store, so a restarted worker answers instead of re-running
+  cache     -dir d [stats|verify|gc] [-max-bytes n]
+            operate on a content-addressed evaluation store: print its
+            stats, run a read-only integrity scan (non-zero exit on
+            damage), or compact away superseded and quarantined data
   fleetbench [-counts 1,2,4] [-eval-delay ms] [-o BENCH_fleet.json]
             wall-clock baseline of the distributed search vs the local
             reference, with the determinism check inline

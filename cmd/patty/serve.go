@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"patty/internal/difftest"
+	"patty/internal/evalcache"
 	"patty/internal/fleet"
 	"patty/internal/jobs"
 	"patty/internal/obs"
@@ -31,6 +32,13 @@ type jobRequest struct {
 	// Tenant attributes the job for quota and fair-share purposes; the
 	// X-Tenant header takes precedence over this field.
 	Tenant string `json:"tenant,omitempty"`
+	// Sources, when present, names the program this job is about
+	// (filename -> Go source). With -cache-dir its canonical hash —
+	// invariant under formatting, comments, and local renames — becomes
+	// the job's content address, so a reformatted resubmission of the
+	// same program, by any tenant, before or after a restart, answers
+	// from the evaluation store without re-running.
+	Sources map[string]string `json:"sources,omitempty"`
 	tuneSpec
 	// Fuzz fields.
 	Seed    int64 `json:"seed,omitempty"`
@@ -54,6 +62,10 @@ type fuzzJobResult struct {
 type server struct {
 	svc     *jobs.Service
 	ckptDir string
+	// cache, when non-nil, is the shared content-addressed evaluation
+	// store (-cache-dir): whole deterministic jobs and individual tune
+	// evaluations are memoized in it, across tenants and restarts.
+	cache *evalcache.Store
 	// intake is the admission breaker: shed submissions trip it and its
 	// remaining cooldown becomes the 503 Retry-After value, so the
 	// advertised backoff grows while an overload persists.
@@ -65,19 +77,105 @@ func newServer(svc *jobs.Service, ckptDir string) *server {
 	return &server{svc: svc, ckptDir: ckptDir, intake: jobs.NewBreaker(3, time.Second)}
 }
 
+// jobCacheKey derives the content address of a whole job, or ok=false
+// when the job must not be memoized. Deterministic kinds qualify; bench
+// (a calibrated sleep measured for its latency) never does. The program
+// slot carries the canonical hash of the submitted sources when present
+// — that is what makes a reformatted or alpha-renamed resubmission hit
+// — and the config slot hashes the normalized spec, so any field that
+// changes the answer (budget, algo, seeds, fleet shape) changes the
+// address. Tenant is deliberately absent: the answer to a pure job is
+// tenant-independent, which is exactly why the store may be shared.
+func jobCacheKey(req jobRequest) (evalcache.Key, bool) {
+	var seed int64
+	switch req.Kind {
+	case "tune":
+		seed = req.FaultSeed
+	case "fuzz", "study":
+		seed = req.Seed
+	default:
+		return evalcache.Key{}, false
+	}
+	prog := "job:" + req.Kind
+	if len(req.Sources) > 0 {
+		h, err := evalcache.ProgramHash(req.Sources)
+		if err != nil {
+			// Unparseable sources cannot be content-addressed; run the
+			// job uncached rather than guessing an identity.
+			return evalcache.Key{}, false
+		}
+		prog = h
+	}
+	norm := req
+	norm.Tenant = ""   // attribution, not identity
+	norm.Sources = nil // carried by the program slot
+	cfg, err := evalcache.SpecHash("serve-job/v1", norm)
+	if err != nil {
+		return evalcache.Key{}, false
+	}
+	return evalcache.Key{Program: prog, Config: cfg, Seed: seed}, true
+}
+
+// memoize wraps a job runner in the store: an identical job already
+// answered — by anyone, including before the last restart — returns its
+// recorded result without running; a fresh run records its marshaled
+// result on the way out. Failed or interrupted runs are never recorded.
+func (s *server) memoize(req jobRequest, run jobs.Runner) jobs.Runner {
+	key, ok := jobCacheKey(req)
+	if !ok {
+		return run
+	}
+	tenant := req.Tenant
+	return func(ctx context.Context) (any, error) {
+		if e, hit := s.cache.Get(key, tenant); hit && len(e.Payload) > 0 {
+			return json.RawMessage(e.Payload), nil
+		}
+		res, err := run(ctx)
+		if err != nil {
+			return res, err
+		}
+		if payload, merr := json.Marshal(res); merr == nil {
+			s.cache.Put(evalcache.Entry{
+				Program: key.Program, Config: key.Config, Seed: key.Seed,
+				Payload: payload, Tenant: tenant,
+			})
+		}
+		return res, nil
+	}
+}
+
 // runnerFor translates a validated request into the job's Runner and
 // the resume-checkpoint path it will use (journaled as a
 // checkpoint-ref record). Checkpoint paths default into
 // -checkpoint-dir, derived deterministically from the job parameters,
 // so a recovered job after a crash re-attaches to the same snapshot —
-// the tuner resumes its search instead of restarting it.
+// the tuner resumes its search instead of restarting it. With a store
+// attached, deterministic jobs are additionally memoized whole (see
+// memoize); recovery goes through this same path, so a resubmitted
+// unfinished job whose twin already finished answers from the store.
 func (s *server) runnerFor(req jobRequest) (jobs.Runner, string, error) {
+	run, ckpt, err := s.buildRunner(req)
+	if err != nil || s.cache == nil {
+		return run, ckpt, err
+	}
+	return s.memoize(req, run), ckpt, nil
+}
+
+// buildRunner is runnerFor without the memoization layer.
+func (s *server) buildRunner(req jobRequest) (jobs.Runner, string, error) {
 	switch req.Kind {
 	case "tune":
 		spec := req.tuneSpec.withDefaults()
 		if spec.Checkpoint == "" && s.ckptDir != "" {
 			spec.Checkpoint = filepath.Join(s.ckptDir,
 				fmt.Sprintf("tune-%s-b%d-c%d.ckpt", spec.Algo, spec.Budget, spec.Cores))
+		}
+		if s.cache != nil {
+			// Even when the whole job misses (say, a different budget),
+			// the search itself shares every measured configuration
+			// through the same store.
+			spec.cache = s.cache
+			spec.cacheTenant = req.Tenant
 		}
 		if len(spec.Workers) > 0 {
 			// A workers field shards the search across a fleet; the
@@ -375,6 +473,9 @@ func (s *server) mux() *http.ServeMux {
 		if fh, ok := obs.AnalyzeFleet(snap); ok {
 			fmt.Fprint(w, report.FleetTable(fh))
 		}
+		if ch, ok := obs.AnalyzeCache(snap); ok {
+			fmt.Fprint(w, report.CacheTable(ch))
+		}
 	})
 	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, metrics.Snapshot())
@@ -441,6 +542,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	storeDir := fs.String("store-dir", "", "directory for the durable job store (WAL + snapshot); restarts recover acknowledged jobs")
 	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant admission rate in jobs/s (0: unlimited); over-quota answers 429")
 	tenantBurst := fs.Int("tenant-burst", 8, "per-tenant token-bucket burst")
+	cacheDir := fs.String("cache-dir", "", "persistent content-addressed evaluation store: resubmitted jobs and repeated configs answer from it, across tenants and restarts")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "evaluation-store size bound in bytes (0: 64 MiB); oldest segments evicted first")
 	fs.Parse(args)
 
 	if *ckptDir != "" {
@@ -473,6 +576,23 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	svc := jobs.New(opts)
 	srv := newServer(svc, *ckptDir)
+	if *cacheDir != "" {
+		// The evaluation store opens — and finishes its own torn-tail /
+		// quarantine recovery — before job recovery replays the WAL, so
+		// a resubmitted unfinished job can already answer from it.
+		cache, err := evalcache.Open(*cacheDir, evalcache.Options{
+			MaxBytes: *cacheMaxBytes, Collector: metrics,
+		})
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
+		if rec := cache.Recovery(); rec.TornBytes > 0 || len(rec.Quarantined) > 0 {
+			fmt.Printf("patty serve: cache repaired (%d entr(y/ies) recovered, %d torn byte(s) dropped, %d segment(s) quarantined)\n",
+				rec.Entries, rec.TornBytes, len(rec.Quarantined))
+		}
+		srv.cache = cache
+	}
 	if st != nil {
 		// Recovery completes before the listening banner, so a harness
 		// that saw the banner can immediately read restored state.

@@ -154,6 +154,8 @@ func cmdServebench(ctx context.Context, args []string) error {
 	maxFairness := fs.Float64("max-fairness", 2.0, "fail above this max/min per-tenant goodput (0: no gate)")
 	smoke := fs.Bool("smoke", false, "short CI pass: 800ms, small client mix")
 	outPath := fs.String("o", "", "also write the JSON artifact to this file")
+	dupLeg := fs.Bool("dup", false, "also run the duplicate-resubmission cache leg (see runCacheBench)")
+	cacheOut := fs.String("cache-o", "", "write the cache leg's JSON artifact to this file (implies -dup)")
 	fs.Parse(args)
 	if *smoke {
 		*duration = 800 * time.Millisecond
@@ -289,6 +291,11 @@ func cmdServebench(ctx context.Context, args []string) error {
 		}
 		if bench.Fairness > *maxFairness {
 			return fmt.Errorf("fairness gate failed: max/min goodput %.2f > %.2f", bench.Fairness, *maxFairness)
+		}
+	}
+	if *dupLeg || *cacheOut != "" {
+		if err := runCacheBench(ctx, *smoke, *cacheOut); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"patty/internal/evalcache"
 	"patty/internal/fleet"
 	"patty/internal/jobs"
 	"patty/internal/netchaos"
@@ -56,6 +57,21 @@ type tuneSpec struct {
 	CrossCheck int `json:"cross_check,omitempty"`
 	// LeaseTTLMs bounds one shard dispatch (0: fleet default of 30s).
 	LeaseTTLMs int `json:"lease_ttl_ms,omitempty"`
+	// CacheDir, when set, opens the persistent content-addressed
+	// evaluation store there (internal/evalcache): configurations this
+	// workload identity has ever measured — in any run, by any tenant,
+	// before any restart — answer from the store instead of being
+	// re-evaluated. CacheMaxBytes bounds the store on disk (0: the
+	// evalcache default of 64 MiB).
+	CacheDir      string `json:"cache_dir,omitempty"`
+	CacheMaxBytes int64  `json:"cache_max_bytes,omitempty"`
+
+	// cache and cacheTenant are the serve path's injection points: the
+	// server's long-lived shared store and the submitting tenant (hit
+	// attribution only — never part of the address). The CLI path opens
+	// its own store from CacheDir instead.
+	cache       *evalcache.Store
+	cacheTenant string
 }
 
 func (s tuneSpec) withDefaults() tuneSpec {
@@ -150,6 +166,41 @@ func (s tuneSpec) evalSpec() evalSpec {
 		FaultRate: s.FaultRate, FaultSeed: s.FaultSeed}
 }
 
+// cacheIdentity derives the store address of this spec's workload. The
+// program slot hashes everything that changes a configuration's cost
+// (cores, fault shape); the seed slot carries FaultSeed. EvalDelayMs
+// is excluded — it stretches wall-clock, never the modelled cost — so
+// a kill-harness run warms the cache for undelayed ones.
+func (s tuneSpec) cacheIdentity() (string, int64) {
+	es := s.evalSpec()
+	es.EvalDelayMs = 0
+	es.FaultSeed = 0 // carried by the key's seed slot instead
+	h, err := evalcache.SpecHash("tune-workload/v1", es)
+	if err != nil { // unreachable: evalSpec is plain marshalable data
+		return "", 0
+	}
+	return h, s.FaultSeed
+}
+
+// openCache resolves the spec's evaluation store: the serve-injected
+// shared one (no-op closer — the server owns its lifetime), a private
+// one opened from CacheDir, or none.
+func (s tuneSpec) openCache() (*evalcache.Store, func(), error) {
+	if s.cache != nil {
+		return s.cache, func() {}, nil
+	}
+	if s.CacheDir == "" {
+		return nil, func() {}, nil
+	}
+	cs, err := evalcache.Open(s.CacheDir, evalcache.Options{
+		MaxBytes: s.CacheMaxBytes, Collector: metrics,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs, func() { cs.Close() }, nil
+}
+
 // workload builds the tuning workload with the fault and delay shims
 // applied — the one objective stack local runs, fleet workers, and the
 // replay's table-miss fallback all share, which is what makes a
@@ -230,9 +281,20 @@ func runTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
 	}
 	dims, start, obj := spec.evalSpec().workload(ctx)
 
+	cache, closeCache, err := spec.openCache()
+	if err != nil {
+		return nil, err
+	}
+	defer closeCache()
+
 	// The Observed gets a private collector: its per-evaluation Reset
 	// must not wipe the process-wide jobs.* instruments.
 	o := &tuning.Observed{Collector: obs.New()}
+	if cache != nil {
+		prog, cseed := spec.cacheIdentity()
+		o.Cache, o.CacheProgram, o.CacheSeed = cache, prog, cseed
+		o.CacheTenant = spec.cacheTenant
+	}
 	br := jobs.NewBreaker(spec.BreakerThreshold, 30*time.Second).Instrument(metrics)
 	obj = jobs.GuardObjective(br, o, o.Wrap(obj))
 
@@ -299,7 +361,12 @@ func runFleetTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
 		client = &http.Client{Transport: inj.Transport(http.DefaultTransport)}
 		defer client.CloseIdleConnections()
 	}
-	res, st, err := fleet.Tune(ctx, tn, dims, start, spec.Budget, fleet.Options{
+	cache, closeCache, err := spec.openCache()
+	if err != nil {
+		return nil, err
+	}
+	defer closeCache()
+	fopts := fleet.Options{
 		Workers:          spec.Workers,
 		Spec:             specJSON,
 		LocalObjective:   obj,
@@ -310,7 +377,13 @@ func runFleetTune(ctx context.Context, spec tuneSpec) (*tuneOutcome, error) {
 		Client:           client,
 		CrossCheck:       spec.CrossCheck,
 		LeaseTTL:         time.Duration(spec.LeaseTTLMs) * time.Millisecond,
-	})
+	}
+	if cache != nil {
+		prog, cseed := spec.cacheIdentity()
+		fopts.Cache, fopts.CacheProgram, fopts.CacheSeed = cache, prog, cseed
+		fopts.CacheTenant = spec.cacheTenant
+	}
+	res, st, err := fleet.Tune(ctx, tn, dims, start, spec.Budget, fopts)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +419,8 @@ func cmdTune(ctx context.Context, args []string) error {
 	netChaosFlag := fs.String("net-chaos", "", `wire-fault plan JSON (or "gate" for the pinned drill plan): inject deterministic faults into shard dispatch`)
 	fs.IntVar(&spec.CrossCheck, "cross-check", 0, "byzantine audit width per shard (0: default 2, -1: disable)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "shard lease TTL (0: fleet default)")
+	fs.StringVar(&spec.CacheDir, "cache-dir", "", "persistent content-addressed evaluation store: already-measured configs answer from it across runs and restarts")
+	fs.Int64Var(&spec.CacheMaxBytes, "cache-max-bytes", 0, "evaluation-store size bound in bytes (0: 64 MiB); oldest segments evicted first")
 	fs.Parse(args)
 	for _, u := range strings.Split(*workersFlag, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -380,8 +455,16 @@ func cmdTune(ctx context.Context, args []string) error {
 		st := out.Fleet
 		fmt.Printf("fleet: %d worker(s), %d lost; %d shard(s); merged %d eval(s), %d duplicate, %d stolen, %d redispatched, %d local\n",
 			st.Workers, st.WorkersLost, st.Shards, st.Merged, st.Duplicates, st.Stolen, st.Redispatched, st.LocalEvals)
+		if st.CacheHits > 0 {
+			fmt.Printf("fleet: %d config(s) answered by the evaluation store before dispatch\n", st.CacheHits)
+		}
 		if fh, ok := obs.AnalyzeFleet(metrics.Snapshot()); ok {
 			fmt.Print(report.FleetTable(fh))
+		}
+	}
+	if spec.CacheDir != "" {
+		if ch, ok := obs.AnalyzeCache(metrics.Snapshot()); ok {
+			fmt.Print(report.CacheTable(ch))
 		}
 	}
 	if spec.Checkpoint != "" {

@@ -6,9 +6,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"os"
 	"time"
 
+	"patty/internal/evalcache"
 	"patty/internal/fleet"
 	"patty/internal/jobs"
 	"patty/internal/netchaos"
@@ -33,8 +33,10 @@ func workerObjective(spec json.RawMessage) (tuning.Objective, error) {
 
 // cmdWorker runs one fleet worker: a hardened HTTP intake that admits
 // POST /shards through the same supervised jobs.Service `patty serve`
-// uses, evaluates each leased shard, and journals results per search so
-// a restarted worker answers repeated configurations from its cache.
+// uses, evaluates each leased shard, and (with -cache-dir) journals
+// every measurement into the shared content-addressed store so a
+// restarted worker answers repeated configurations instead of
+// re-measuring them.
 // It drains like serve: the first SIGINT/SIGTERM stops admission and
 // lets in-flight shards finish, a second one hard-exits.
 func cmdWorker(ctx context.Context, args []string) error {
@@ -43,15 +45,26 @@ func cmdWorker(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 2, "evaluation-pool size")
 	queue := fs.Int("queue", 16, "admission-queue bound; a full queue sheds shards with 503")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "hard deadline for the shutdown drain")
-	cacheDir := fs.String("cache-dir", "", "directory for per-search evaluation journals (crash-restart cache)")
+	cacheDir := fs.String("cache-dir", "", "persistent content-addressed evaluation store: measured configs answer from it across searches and restarts")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "evaluation-store size bound in bytes (0: 64 MiB); oldest segments evicted first")
 	chaosFlag := fs.String("chaos", "", `wire-fault plan JSON (or "gate"): wrap the intake in a deterministic server-side fault injector`)
 	byzRate := fs.Int("byzantine-rate", 0, "percent of evaluations reported with corrupted costs (byzantine drills; 100 = lie on every config)")
 	byzSeed := fs.Int64("byzantine-seed", 1, "seed selecting which evaluations lie")
 	fs.Parse(args)
 
+	var cache *evalcache.Store
 	if *cacheDir != "" {
-		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+		var err error
+		cache, err = evalcache.Open(*cacheDir, evalcache.Options{
+			MaxBytes: *cacheMaxBytes, Collector: metrics,
+		})
+		if err != nil {
 			return err
+		}
+		defer cache.Close()
+		if rec := cache.Recovery(); rec.TornBytes > 0 || len(rec.Quarantined) > 0 {
+			fmt.Printf("patty worker: cache repaired (%d entr(y/ies) recovered, %d torn byte(s) dropped, %d segment(s) quarantined)\n",
+				rec.Entries, rec.TornBytes, len(rec.Quarantined))
 		}
 	}
 	hook := workerObjective
@@ -79,7 +92,7 @@ func cmdWorker(ctx context.Context, args []string) error {
 		QueueDepth: *queue,
 		Collector:  metrics,
 	})
-	wk := fleet.NewWorker(svc, hook, *cacheDir, metrics)
+	wk := fleet.NewWorker(svc, hook, cache, metrics)
 
 	var handler http.Handler = wk.Mux()
 	if ps, err := parseChaosPlan(*chaosFlag); err != nil {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"patty/internal/evalcache"
 	"patty/internal/obs"
 	"patty/internal/seed"
 	"patty/internal/tuning"
@@ -289,6 +290,16 @@ func (s *scheduler) quarantine(worker string, opts Options) {
 			delete(s.source, key) // now locally vouched for
 			if s.ck != nil {
 				s.ck.Correct(rec.Assignment, truth)
+			}
+			if s.cache != nil {
+				// The liar's cost reached the shared store when its shard
+				// merged; a poisoned entry must not outlive the search,
+				// let alone answer another tenant's job. Correct appends
+				// the repair durably (replay is last-wins).
+				s.cache.Correct(evalcache.Entry{
+					Program: s.cacheProg, Config: key, Seed: s.cacheSeed,
+					Cost: fixed.Cost, Faulted: fixed.Faulted,
+				})
 			}
 			s.stats.Corrected++
 			s.inst.corrected.Inc()

@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
+	"patty/internal/evalcache"
 	"patty/internal/jobs"
 	"patty/internal/obs"
 	"patty/internal/seed"
@@ -65,6 +67,18 @@ type Options struct {
 	// Client is the HTTP client for shard dispatch (default
 	// http.DefaultClient). A netchaos.Injector Transport plugs in here.
 	Client *http.Client
+
+	// Cache, when non-nil (and CacheProgram non-empty), is the
+	// persistent content-addressed evaluation store: enumerated
+	// configurations already cached are merged into the table before
+	// sharding (they never hit the wire), every fresh merged
+	// evaluation is journaled into it, and byzantine repairs correct
+	// it. CacheProgram/CacheSeed complete the (program, config, seed)
+	// address; CacheTenant attributes hits.
+	Cache        *evalcache.Store
+	CacheProgram string
+	CacheSeed    int64
+	CacheTenant  string
 
 	// CrossCheck is the byzantine audit width: per completed shard, this
 	// many sampled configurations are re-evaluated locally and compared
@@ -135,6 +149,7 @@ type Stats struct {
 	Stolen       int      // speculative duplicate dispatches
 	LocalEvals   int      // replay table misses evaluated locally
 	Resumed      int      // evaluations re-adopted from the checkpoint
+	CacheHits    int      // configs answered from the shared store before sharding
 	Quarantined  []string // configs the replay breaker quarantined
 
 	// Hostile-network ledger.
@@ -172,7 +187,31 @@ type scheduler struct {
 	inst  fleetInstruments
 	coll  *obs.Collector // for dynamic fleet.net.* / fleet.peer.* keys
 
+	// Shared evaluation store (nil when caching is off): merged costs
+	// are journaled into it and byzantine repairs correct it.
+	cache       *evalcache.Store
+	cacheProg   string
+	cacheSeed   int64
+	cacheTenant string
+
 	now func() time.Time
+}
+
+// cachePut journals one merged record into the shared store (no-op
+// without a cache). The cache fields are immutable after setup and the
+// store has its own lock, so this is safe with or without s.mu held.
+func (s *scheduler) cachePut(key string, rec tuning.EvalRecord) {
+	if s.cache == nil {
+		return
+	}
+	e := evalcache.Entry{
+		Program: s.cacheProg, Config: key, Seed: s.cacheSeed,
+		Cost: rec.Cost, Faulted: rec.Faulted, Tenant: s.cacheTenant,
+	}
+	if math.IsInf(e.Cost, 0) || math.IsNaN(e.Cost) {
+		e.Cost, e.Faulted = 0, true // +Inf is not JSON-encodable; the flag carries it
+	}
+	s.cache.Put(e)
 }
 
 type leaseIn struct {
@@ -336,6 +375,7 @@ func (s *scheduler) complete(id int, worker string, evals []tuning.EvalRecord, r
 		if s.ck != nil {
 			s.ck.Record(rec.Assignment, rec.EffectiveCost())
 		}
+		s.cachePut(key, rec)
 	}
 	if !s.done[id] {
 		s.done[id] = true
@@ -459,6 +499,12 @@ func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[str
 	}
 	sched.stats.NetFaults = make(map[string]int)
 	sched.cond = sync.NewCond(&sched.mu)
+	if opts.Cache != nil && opts.CacheProgram != "" {
+		sched.cache = opts.Cache
+		sched.cacheProg = opts.CacheProgram
+		sched.cacheSeed = opts.CacheSeed
+		sched.cacheTenant = opts.CacheTenant
+	}
 
 	// Resume: re-adopt the merged prefix and the quarantine set from the
 	// journal; only the remainder of the space is sharded out.
@@ -478,6 +524,34 @@ func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[str
 		}
 		for _, key := range ck.Quarantined() {
 			exclude[key] = true
+		}
+	}
+
+	// Cache pre-filter: enumerated configurations already in the shared
+	// store merge straight into the table — they never hit the wire.
+	// Journaling them through the checkpointer keeps the resume path
+	// agnostic to where a cost came from.
+	if sched.cache != nil {
+		for _, a := range Enumerate(dims, start) {
+			key := tuning.AssignKey(a)
+			if exclude[key] {
+				continue
+			}
+			e, ok := sched.cache.Get(evalcache.Key{Program: sched.cacheProg, Config: key, Seed: sched.cacheSeed}, sched.cacheTenant)
+			if !ok {
+				continue
+			}
+			sched.table[key] = tuning.EvalRecord{Assignment: copyAssign(a), Cost: e.Cost, Faulted: e.Faulted}
+			exclude[key] = true
+			sched.stats.CacheHits++
+			sched.stats.Merged++
+			sched.inst.merged.Inc()
+			if sched.ck != nil {
+				sched.ck.Record(a, e.EffectiveCost())
+			}
+		}
+		if sched.ck != nil && sched.stats.CacheHits > 0 {
+			sched.ck.Flush()
 		}
 	}
 
@@ -523,6 +597,8 @@ func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[str
 					Search:  meta.Signature(),
 					Shard:   id,
 					Spec:    opts.Spec,
+					Program: opts.CacheProgram,
+					Seed:    opts.CacheSeed,
 					Configs: sched.shards[id].Configs,
 				}
 				sched.noteDispatch(worker)
@@ -614,6 +690,7 @@ func Tune(ctx context.Context, tn tuning.Tuner, dims []tuning.Dim, start map[str
 		if sched.ck != nil {
 			sched.ck.Record(a, cost)
 		}
+		sched.cachePut(key, rec)
 		return cost
 	}
 	guarded := tableObj

@@ -55,14 +55,24 @@ import (
 // worker's NewObjective interprets.
 type ShardRequest struct {
 	// Search is the owning search's canonical identity
-	// (tuning.SearchMeta.Signature). Worker evaluation journals are
-	// keyed by it, so two searches never share cached costs.
+	// (tuning.SearchMeta.Signature); the worker's content-addressed
+	// fallback key when no Program hash is supplied, so two searches
+	// never share cached costs by accident.
 	Search string `json:"search"`
 	// Shard is the coordinator-assigned shard id (diagnostic).
 	Shard int `json:"shard"`
 	// Spec is the opaque objective specification, interpreted by the
 	// worker's NewObjective hook.
 	Spec json.RawMessage `json:"spec,omitempty"`
+	// Program is the canonical content address of the workload
+	// (evalcache.ProgramHash / SpecHash); with Seed it lets a worker
+	// share its persistent evaluation store across searches, tenants
+	// and restarts. Empty on requests from older coordinators — the
+	// worker then falls back to "search:"+Search, which never matches
+	// a content address.
+	Program string `json:"program,omitempty"`
+	// Seed is the measurement seed completing the cache address.
+	Seed int64 `json:"seed,omitempty"`
 	// Configs are the assignments to evaluate.
 	Configs []map[string]int `json:"configs"`
 }

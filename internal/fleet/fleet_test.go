@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"patty/internal/evalcache"
 	"patty/internal/jobs"
 	"patty/internal/obs"
 	"patty/internal/ptest"
@@ -53,8 +54,17 @@ func countingHook(obj tuning.Objective, calls *atomic.Int64) func(json.RawMessag
 func startWorker(t *testing.T, hook func(json.RawMessage) (tuning.Objective, error), cacheDir string) (string, *obs.Collector) {
 	t.Helper()
 	c := obs.New()
+	var cache *evalcache.Store
+	if cacheDir != "" {
+		var err error
+		cache, err = evalcache.Open(cacheDir, evalcache.Options{Collector: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cache.Close() })
+	}
 	svc := jobs.New(jobs.Options{Workers: 2, QueueDepth: 32, Collector: c})
-	wk := NewWorker(svc, hook, cacheDir, c)
+	wk := NewWorker(svc, hook, cache, c)
 	ts := httptest.NewServer(wk.Mux())
 	t.Cleanup(func() {
 		ts.Close()
@@ -211,6 +221,77 @@ func TestTuneDeterministicAcrossWorkerCounts(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestTuneWarmCacheBitIdentical is the determinism gate for the shared
+// evaluation store: a search run against a warm cache must produce the
+// bit-identical Result of a cold run — and do so without measuring a
+// single configuration or dispatching a single shard, because the
+// pre-filter answers the entire enumerated space from the store.
+func TestTuneWarmCacheBitIdentical(t *testing.T) {
+	t.Cleanup(ptest.NoLeaks(t))
+	dims, start, obj := testSpace()
+	tn := tuning.LinearSearch{}
+	dir := filepath.Join(t.TempDir(), "cas")
+
+	// Cold run: workers measure everything; complete() journals each
+	// merged record into the store.
+	cold, err := evalcache.Open(dir, evalcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coldCalls atomic.Int64
+	urlCold, _ := startWorker(t, countingHook(obj, &coldCalls), "")
+	opts := Options{
+		Workers:        []string{urlCold},
+		LocalObjective: obj,
+		Cache:          cold,
+		CacheProgram:   "sha256:test-program",
+		CacheSeed:      7,
+	}
+	resCold, stCold, err := Tune(context.Background(), tn, dims, start, 120, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCold.CacheHits != 0 {
+		t.Fatalf("cold run reported %d cache hits", stCold.CacheHits)
+	}
+	if cold.Len() != SpaceSize(dims, start) {
+		t.Fatalf("store holds %d entries after the cold run, space is %d", cold.Len(), SpaceSize(dims, start))
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm run: a fresh process ("restart") over the same directory.
+	warm, err := evalcache.Open(dir, evalcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	var warmCalls atomic.Int64
+	urlWarm, _ := startWorker(t, countingHook(obj, &warmCalls), "")
+	opts.Workers = []string{urlWarm}
+	opts.Cache = warm
+	resWarm, stWarm, err := Tune(context.Background(), tn, dims, start, 120, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resWarm, resCold) {
+		t.Fatalf("warm-cache result diverged from cold:\n got %+v\nwant %+v", resWarm, resCold)
+	}
+	if warmCalls.Load() != 0 {
+		t.Fatalf("warm run re-measured %d configs", warmCalls.Load())
+	}
+	if stWarm.CacheHits != SpaceSize(dims, start) {
+		t.Fatalf("warm run hit %d of %d configs", stWarm.CacheHits, SpaceSize(dims, start))
+	}
+	if stWarm.Shards != 0 {
+		t.Fatalf("warm run still dispatched %d shards", stWarm.Shards)
+	}
+	if stWarm.LocalEvals != 0 {
+		t.Fatalf("warm replay missed the table %d times", stWarm.LocalEvals)
 	}
 }
 
@@ -462,7 +543,7 @@ func TestWorkerIntakeHardening(t *testing.T) {
 	}
 	c := obs.New()
 	svc := jobs.New(jobs.Options{Workers: 1, QueueDepth: 1, Collector: c})
-	wk := NewWorker(svc, blocking, "", c)
+	wk := NewWorker(svc, blocking, nil, c)
 	ts := httptest.NewServer(wk.Mux())
 	defer func() {
 		ts.Close()
@@ -565,8 +646,13 @@ func TestWorkerCacheResume(t *testing.T) {
 	if !reflect.DeepEqual(sr1.Evals, sr2.Evals) {
 		t.Fatalf("journal replay diverged:\n got %+v\nwant %+v", sr2.Evals, sr1.Evals)
 	}
-	if hits := c2.Snapshot().Counters["fleet.worker.cache_hits"]; int(hits) != len(configs) {
-		t.Fatalf("cache_hits = %d, want %d", hits, len(configs))
+	if hits := c2.Snapshot().Counters["cache.hits"]; int(hits) != len(configs) {
+		t.Fatalf("cache.hits = %d, want %d", hits, len(configs))
+	}
+	// The old ad-hoc counter is gone: fleet hit accounting lives in the
+	// shared cache.* grammar now.
+	if stale := c2.Snapshot().Counters["fleet.worker.cache_hits"]; stale != 0 {
+		t.Fatalf("stale fleet.worker.cache_hits counter still published: %d", stale)
 	}
 }
 

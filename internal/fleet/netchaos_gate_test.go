@@ -25,7 +25,7 @@ func startChaosWorker(t *testing.T, hook func(json.RawMessage) (tuning.Objective
 	t.Helper()
 	c := obs.New()
 	svc := jobs.New(jobs.Options{Workers: 2, QueueDepth: 32, Collector: c})
-	wk := NewWorker(svc, hook, "", c)
+	wk := NewWorker(svc, hook, nil, c)
 	ts := httptest.NewServer(inj.Middleware(wk.Mux()))
 	t.Cleanup(func() {
 		ts.Close()

@@ -5,138 +5,70 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"io/fs"
 	"math"
 	"net/http"
-	"path/filepath"
-	"sync"
 	"time"
 
-	"patty/internal/checkpoint"
+	"patty/internal/evalcache"
 	"patty/internal/jobs"
 	"patty/internal/obs"
 	"patty/internal/report"
 	"patty/internal/tuning"
 )
 
-// WorkerCacheKind tags a worker's per-search evaluation journal in the
-// checkpoint envelope.
-const WorkerCacheKind = "fleet-worker-cache"
-
 // Worker serves shard evaluations: the `patty worker` process body.
 // Every shard request is admitted through a jobs.Service (bounded
-// queue, load shedding, supervised pool), evaluated configuration by
-// configuration, and — when CacheDir is set — journaled per search so
-// a worker restarted after a crash replays already-measured costs
-// instead of re-running them.
+// queue, load shedding, supervised pool) and evaluated configuration
+// by configuration. When a Cache is attached, every configuration is
+// looked up in — and every fresh measurement journaled into — the
+// persistent content-addressed store, so a worker restarted after a
+// crash (or serving a resubmitted program, from any search) answers
+// already-measured costs instead of re-running them. Hits and inserts
+// count in the shared cache.* grammar, the same keys local tuning
+// publishes.
 type Worker struct {
 	svc          *jobs.Service
 	newObjective func(spec json.RawMessage) (tuning.Objective, error)
-	cacheDir     string
+	cache        *evalcache.Store
 	maxBody      int64
 
 	// intake is the admission breaker: sheds trip it and its remaining
 	// cooldown becomes the 503 Retry-After value.
 	intake *jobs.Breaker
 
-	mu     sync.Mutex
-	caches map[string]*workerCache
-
-	shards    *obs.Counter
-	evals     *obs.Counter
-	cacheHits *obs.Counter
-	statusz   func() obs.Snapshot
+	shards  *obs.Counter
+	evals   *obs.Counter
+	statusz func() obs.Snapshot
 }
 
 // NewWorker wires a Worker onto an admission service. newObjective
-// reconstructs the objective from the opaque per-shard spec; cacheDir
-// "" disables the evaluation journal; c receives the fleet.worker.*
-// metrics (nil: discarded).
-func NewWorker(svc *jobs.Service, newObjective func(json.RawMessage) (tuning.Objective, error), cacheDir string, c *obs.Collector) *Worker {
+// reconstructs the objective from the opaque per-shard spec; cache nil
+// disables evaluation caching; c receives the fleet.worker.* metrics
+// (nil: discarded).
+func NewWorker(svc *jobs.Service, newObjective func(json.RawMessage) (tuning.Objective, error), cache *evalcache.Store, c *obs.Collector) *Worker {
 	return &Worker{
 		svc:          svc,
 		newObjective: newObjective,
-		cacheDir:     cacheDir,
+		cache:        cache,
 		maxBody:      MaxBodyBytes,
 		intake:       jobs.NewBreaker(3, time.Second),
-		caches:       make(map[string]*workerCache),
 		shards:       c.Counter("fleet.worker.shards"),
 		evals:        c.Counter("fleet.worker.evals"),
-		cacheHits:    c.Counter("fleet.worker.cache_hits"),
 		statusz:      c.Snapshot,
 	}
 }
 
-// workerCache is one search's journaled evaluations.
-type workerCache struct {
-	mu    sync.Mutex
-	path  string // "" when journaling is disabled
-	state workerCacheState
-	byKey map[string]tuning.EvalRecord
-	// saveFailed latches after the first failed write: the journal is
-	// an optimization (the coordinator owns durability), so a broken
-	// disk degrades to re-evaluation instead of failing shards.
-	saveFailed bool
-}
-
-type workerCacheState struct {
-	Search string              `json:"search"`
-	Evals  []tuning.EvalRecord `json:"evals"`
-}
-
-// cacheFor loads (or creates) the journal for one search signature.
-func (wk *Worker) cacheFor(search string) *workerCache {
-	wk.mu.Lock()
-	defer wk.mu.Unlock()
-	if c, ok := wk.caches[search]; ok {
-		return c
+// cacheKeyFor builds the store address for one configuration of a
+// shard. Requests from coordinators that predate content addressing
+// carry no Program; "search:"+Search keeps their entries correct
+// (scoped to one search identity) without ever colliding with a
+// sha256 content address.
+func cacheKeyFor(req ShardRequest, a map[string]int) evalcache.Key {
+	prog := req.Program
+	if prog == "" {
+		prog = "search:" + req.Search
 	}
-	c := &workerCache{byKey: make(map[string]tuning.EvalRecord)}
-	c.state.Search = search
-	if wk.cacheDir != "" {
-		h := fnv.New64a()
-		h.Write([]byte(search))
-		c.path = filepath.Join(wk.cacheDir, fmt.Sprintf("fleet-worker-%016x.ckpt", h.Sum64()))
-		err := checkpoint.Load(c.path, WorkerCacheKind, &c.state)
-		switch {
-		case err == nil && c.state.Search == search:
-			for _, rec := range c.state.Evals {
-				c.byKey[tuning.AssignKey(rec.Assignment)] = rec
-			}
-		case err == nil || errors.Is(err, fs.ErrNotExist):
-			// Hash collision with another search, or a fresh journal:
-			// start empty.
-			c.state = workerCacheState{Search: search}
-		default:
-			// Corrupt journal: start over; the next save rewrites it.
-			c.state = workerCacheState{Search: search}
-		}
-	}
-	wk.caches[search] = c
-	return c
-}
-
-func (c *workerCache) get(key string) (tuning.EvalRecord, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rec, ok := c.byKey[key]
-	return rec, ok
-}
-
-func (c *workerCache) put(key string, rec tuning.EvalRecord) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.byKey[key]; ok {
-		return
-	}
-	c.byKey[key] = rec
-	c.state.Evals = append(c.state.Evals, rec)
-	if c.path != "" && !c.saveFailed {
-		if err := checkpoint.Save(c.path, WorkerCacheKind, &c.state); err != nil {
-			c.saveFailed = true
-		}
-	}
+	return evalcache.Key{Program: prog, Config: tuning.AssignKey(a), Seed: req.Seed}
 }
 
 // evaluate runs one shard, honoring cancellation between
@@ -146,24 +78,31 @@ func (wk *Worker) evaluate(ctx context.Context, req ShardRequest) (*ShardRespons
 	if err != nil {
 		return nil, fmt.Errorf("bad shard spec: %w", err)
 	}
-	cache := wk.cacheFor(req.Search)
 	resp := &ShardResponse{Shard: req.Shard, Evals: make([]tuning.EvalRecord, 0, len(req.Configs))}
 	for _, a := range req.Configs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		key := tuning.AssignKey(a)
-		if rec, ok := cache.get(key); ok {
-			wk.cacheHits.Inc()
-			resp.Evals = append(resp.Evals, rec)
-			continue
+		if wk.cache != nil {
+			if e, ok := wk.cache.Get(cacheKeyFor(req, a), ""); ok {
+				resp.Evals = append(resp.Evals, tuning.EvalRecord{
+					Assignment: copyAssign(a), Cost: e.Cost, Faulted: e.Faulted,
+				})
+				continue
+			}
 		}
 		cost := obj(a)
 		rec := tuning.EvalRecord{Assignment: copyAssign(a), Cost: cost}
 		if math.IsInf(cost, 1) || math.IsNaN(cost) || math.IsInf(cost, -1) {
 			rec.Cost, rec.Faulted = 0, true
 		}
-		cache.put(key, rec)
+		if wk.cache != nil {
+			k := cacheKeyFor(req, a)
+			wk.cache.Put(evalcache.Entry{
+				Program: k.Program, Config: k.Config, Seed: k.Seed,
+				Cost: rec.Cost, Faulted: rec.Faulted,
+			})
+		}
 		wk.evals.Inc()
 		resp.Evals = append(resp.Evals, rec)
 	}
@@ -239,6 +178,9 @@ func (wk *Worker) Mux() *http.ServeMux {
 		}
 		if fh, ok := obs.AnalyzeFleet(snap); ok {
 			fmt.Fprint(w, report.FleetTable(fh))
+		}
+		if ch, ok := obs.AnalyzeCache(snap); ok {
+			fmt.Fprint(w, report.CacheTable(ch))
 		}
 	})
 	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {

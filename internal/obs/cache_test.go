@@ -1,0 +1,60 @@
+package obs
+
+import "testing"
+
+func TestAnalyzeCache(t *testing.T) {
+	c := New()
+	c.Counter("cache.hits").Add(30)
+	c.Counter("cache.misses").Add(10)
+	c.Counter("cache.inserts").Add(10)
+	c.Counter("cache.evictions").Add(2)
+	c.Gauge("cache.entries").Set(8)
+	c.Gauge("cache.bytes").Set(4096)
+	c.Gauge("cache.segments").Set(2)
+	c.Counter("cache.tenant.alice.hits").Add(20)
+	c.Counter("cache.tenant.team.us-east.hits").Add(10) // dotted tenant id
+
+	h, ok := AnalyzeCache(c.Snapshot())
+	if !ok {
+		t.Fatal("cache signal not detected")
+	}
+	if h.Hits != 30 || h.Misses != 10 || h.Inserts != 10 || h.Evictions != 2 {
+		t.Fatalf("ledger wrong: %+v", h)
+	}
+	if h.Entries != 8 || h.Bytes != 4096 || h.Segments != 2 {
+		t.Fatalf("gauges wrong: %+v", h)
+	}
+	if got := h.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+	if len(h.TenantHits) != 2 {
+		t.Fatalf("tenant hits: %+v", h.TenantHits)
+	}
+	// Sorted by id; dotted ids parse whole.
+	if h.TenantHits[0].Tenant != "alice" || h.TenantHits[0].Hits != 20 {
+		t.Fatalf("tenant[0]: %+v", h.TenantHits[0])
+	}
+	if h.TenantHits[1].Tenant != "team.us-east" || h.TenantHits[1].Hits != 10 {
+		t.Fatalf("tenant[1]: %+v", h.TenantHits[1])
+	}
+	if h.Degraded() {
+		t.Fatal("clean cache reported degraded")
+	}
+}
+
+func TestAnalyzeCacheAbsent(t *testing.T) {
+	c := New()
+	c.Counter("jobs.submitted").Inc() // unrelated signal only
+	if _, ok := AnalyzeCache(c.Snapshot()); ok {
+		t.Fatal("cache signal detected in a snapshot without cache.* keys")
+	}
+}
+
+func TestAnalyzeCacheDegraded(t *testing.T) {
+	c := New()
+	c.Counter("cache.corrupt").Inc()
+	h, ok := AnalyzeCache(c.Snapshot())
+	if !ok || !h.Degraded() {
+		t.Fatalf("quarantined segment not surfaced: ok=%v h=%+v", ok, h)
+	}
+}

@@ -25,7 +25,10 @@ import (
 //
 //	fleet.worker.shards        counter  (shards evaluated to completion)
 //	fleet.worker.evals         counter  (configurations actually measured)
-//	fleet.worker.cache_hits    counter  (configurations answered from the journal)
+//
+// Configurations answered from the shared evaluation store count in
+// the cache.* grammar (see AnalyzeCache), the same keys local tuning
+// uses — fleet and local hit accounting agree by construction.
 //
 // Hostile-network ledger (coordinator side; <class> per
 // fleet.FaultClass / netchaos class names):
@@ -72,9 +75,8 @@ type FleetHealth struct {
 
 	ShardRTT HistSnapshot `json:"shard_rtt_ns"`
 
-	WorkerShards    int64 `json:"worker_shards"`
-	WorkerEvals     int64 `json:"worker_evals"`
-	WorkerCacheHits int64 `json:"worker_cache_hits"`
+	WorkerShards int64 `json:"worker_shards"`
+	WorkerEvals  int64 `json:"worker_evals"`
 
 	// NetFaults maps fault class -> count for every fleet.net.* key
 	// (including the injected.* sub-keys), so both what the wire did and
@@ -123,7 +125,6 @@ func AnalyzeFleet(s Snapshot) (h FleetHealth, ok bool) {
 		ShardRTT:           s.Histograms["fleet.shard.rtt_ns"],
 		WorkerShards:       s.Counters["fleet.worker.shards"],
 		WorkerEvals:        s.Counters["fleet.worker.evals"],
-		WorkerCacheHits:    s.Counters["fleet.worker.cache_hits"],
 		ByzCrossChecked:    s.Counters["fleet.byzantine.crosschecked"],
 		ByzDivergent:       s.Counters["fleet.byzantine.divergent"],
 		ByzQuarantined:     s.Counters["fleet.byzantine.quarantined"],
@@ -190,7 +191,7 @@ func AnalyzeFleet(s Snapshot) (h FleetHealth, ok bool) {
 	}
 	sort.Slice(h.Peers, func(i, j int) bool { return h.Peers[i].Name < h.Peers[j].Name })
 	ok = h.Workers > 0 || h.ShardsTotal > 0 || h.WorkerShards > 0 ||
-		h.WorkerEvals > 0 || h.WorkerCacheHits > 0 ||
+		h.WorkerEvals > 0 ||
 		len(h.NetFaults) > 0 || len(h.Peers) > 0 || h.ByzCrossChecked > 0
 	return h, ok
 }

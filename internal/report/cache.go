@@ -1,0 +1,47 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"patty/internal/obs"
+)
+
+// CacheTable renders the evaluation-cache digest (obs.AnalyzeCache) in
+// the style of ServiceTable: the hit/miss ledger with the hit rate,
+// the store footprint, per-tenant hit attribution, and — only when
+// present — the damage line (quarantined segments) that tells an
+// operator to run `patty cache verify`. It joins the /statusz pages of
+// `patty serve` and `patty worker`.
+func CacheTable(h obs.CacheHealth) string {
+	var b strings.Builder
+	b.WriteString("=== evaluation cache (from internal/obs cache.* keys) ===\n")
+	fmt.Fprintf(&b, "lookups %d hit / %d miss (%.0f%% hit rate), %d inserted, %d evicted\n",
+		h.Hits, h.Misses, 100*h.HitRate(), h.Inserts, h.Evictions)
+	fmt.Fprintf(&b, "store   %d entr(ies) in %d segment(s), %s on disk\n",
+		h.Entries, h.Segments, sizeOf(h.Bytes))
+	if len(h.TenantHits) > 0 {
+		parts := make([]string, 0, len(h.TenantHits))
+		for _, th := range h.TenantHits {
+			parts = append(parts, fmt.Sprintf("%s %d", clip(th.Tenant, 16), th.Hits))
+		}
+		fmt.Fprintf(&b, "tenant hits: %s\n", strings.Join(parts, ", "))
+	}
+	if h.Corrupt > 0 {
+		fmt.Fprintf(&b, "DAMAGE: %d segment(s) quarantined during recovery — run `patty cache verify`\n",
+			h.Corrupt)
+	}
+	return b.String()
+}
+
+// sizeOf renders a byte count with a binary unit.
+func sizeOf(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,36 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"patty/internal/obs"
+)
+
+func TestCacheTable(t *testing.T) {
+	h := obs.CacheHealth{
+		Hits: 75, Misses: 25, Inserts: 25, Evictions: 3,
+		Entries: 22, Bytes: 3 << 20, Segments: 4,
+		TenantHits: []obs.CacheTenantHits{{Tenant: "alice", Hits: 50}, {Tenant: "bob", Hits: 25}},
+	}
+	out := CacheTable(h)
+	for _, want := range []string{
+		"evaluation cache",
+		"75 hit / 25 miss (75% hit rate)",
+		"22 entr(ies) in 4 segment(s), 3.0 MiB",
+		"tenant hits: alice 50, bob 25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CacheTable missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DAMAGE") {
+		t.Errorf("clean cache rendered damage line:\n%s", out)
+	}
+
+	h.Corrupt = 1
+	if out := CacheTable(h); !strings.Contains(out, "DAMAGE: 1 segment(s) quarantined") ||
+		!strings.Contains(out, "patty cache verify") {
+		t.Errorf("damage line missing:\n%s", out)
+	}
+}

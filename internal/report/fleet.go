@@ -30,9 +30,9 @@ func FleetTable(h obs.FleetHealth) string {
 				float64(h.ShardRTT.Max)/1e6, h.ShardRTT.Count)
 		}
 	}
-	if h.WorkerShards > 0 || h.WorkerEvals > 0 || h.WorkerCacheHits > 0 {
-		fmt.Fprintf(&b, "worker  %d shard(s) served, %d eval(s) measured, %d cache hit(s)\n",
-			h.WorkerShards, h.WorkerEvals, h.WorkerCacheHits)
+	if h.WorkerShards > 0 || h.WorkerEvals > 0 {
+		fmt.Fprintf(&b, "worker  %d shard(s) served, %d eval(s) measured\n",
+			h.WorkerShards, h.WorkerEvals)
 	}
 	if len(h.NetFaults) > 0 {
 		classes := make([]string, 0, len(h.NetFaults))

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"patty/internal/evalcache"
 	"patty/internal/obs"
 )
 
@@ -44,6 +45,16 @@ type Observed struct {
 	// configuration, in evaluation order.
 	Metrics []ConfigMetrics
 
+	// Cache, when non-nil, is the persistent content-addressed
+	// evaluation store: Wrap consults it before measuring and journals
+	// every fresh measurement into it. CacheProgram and CacheSeed
+	// complete the (program, config, seed) address; CacheTenant
+	// attributes hits for the per-tenant counters.
+	Cache        *evalcache.Store
+	CacheProgram string
+	CacheSeed    int64
+	CacheTenant  string
+
 	byKey map[string][]obs.PatternAnalysis
 }
 
@@ -60,8 +71,25 @@ type Observed struct {
 // a configuration that only looks fast because it crashed early.
 // Healed retries alone do not penalize: the result was correct and
 // the retry latency is already inside the measured cost.
+// When Cache is set, a hit short-circuits the measurement entirely:
+// the entry's cost (with Faulted mapped back to +Inf) is returned and
+// recorded in Metrics with a nil analysis — the search trajectory is
+// unchanged because costs are deterministic per (program, config,
+// seed), only the work of re-measuring is skipped.
 func (o *Observed) Wrap(obj Objective) Objective {
 	return func(a map[string]int) float64 {
+		if o.Cache != nil && o.CacheProgram != "" {
+			key := evalcache.Key{Program: o.CacheProgram, Config: assignKey(a), Seed: o.CacheSeed}
+			if e, ok := o.Cache.Get(key, o.CacheTenant); ok {
+				cost := e.EffectiveCost()
+				o.Metrics = append(o.Metrics, ConfigMetrics{
+					Assignment: copyAssign(a),
+					Cost:       cost,
+					Faulted:    e.Faulted,
+				})
+				return cost
+			}
+		}
 		o.Collector.Reset()
 		cost, faulted := runObjective(obj, a)
 		analyses := obs.Analyze(o.Collector.Snapshot())
@@ -83,8 +111,30 @@ func (o *Observed) Wrap(obj Objective) Objective {
 			Analyses:   analyses,
 			Faulted:    faulted,
 		})
+		if o.Cache != nil && o.CacheProgram != "" {
+			// Journal the fresh measurement; Put is first-wins, so a
+			// concurrent search writing the same key is harmless. +Inf is
+			// not JSON-encodable — the Faulted flag carries it.
+			o.Cache.Put(evalcache.Entry{
+				Program: o.CacheProgram,
+				Config:  assignKey(a),
+				Seed:    o.CacheSeed,
+				Cost:    finiteOr(cost, 0),
+				Faulted: faulted,
+				Tenant:  o.CacheTenant,
+			})
+		}
 		return cost
 	}
+}
+
+// finiteOr replaces a non-finite cost with fallback (the Faulted flag
+// preserves the information).
+func finiteOr(v, fallback float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fallback
+	}
+	return v
 }
 
 // runObjective evaluates obj, converting a panic (a faulting workload
